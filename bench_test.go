@@ -1,0 +1,325 @@
+// Package nodefz's root benchmark harness: one benchmark per table and
+// figure of the paper (DESIGN.md §6 maps each to its experiment), plus
+// microbenchmarks of the runtime primitives.
+//
+// The figure benchmarks measure the wall time of one experiment unit (a
+// trial, a suite run); their relative ns/op across modes IS the figure-8
+// story, and their outputs print the rows the paper reports. Run:
+//
+//	go test -bench=. -benchmem
+package nodefz
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/conformance"
+	"nodefz/internal/core"
+	"nodefz/internal/emitter"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/harness"
+	"nodefz/internal/httpsim"
+	"nodefz/internal/loadgen"
+	"nodefz/internal/sched"
+	"nodefz/internal/simnet"
+)
+
+// --- Tables 1-3 -----------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.WriteTable1(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.WriteTable2(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.WriteTable3(io.Discard)
+	}
+}
+
+// --- Figure 6: one reproduction trial per bug per mode --------------------
+
+func BenchmarkFig6Trial(b *testing.B) {
+	for _, app := range bugs.Fig6Set() {
+		for _, mode := range harness.Fig6Modes() {
+			app, mode := app, mode
+			b.Run(fmt.Sprintf("%s/%s", app.Abbr, mode), func(b *testing.B) {
+				manifested := 0
+				for i := 0; i < b.N; i++ {
+					seed := int64(i + 1)
+					out := app.Run(bugs.RunConfig{
+						Seed:      seed,
+						Scheduler: harness.SchedulerFor(mode, seed),
+					})
+					if out.Manifested {
+						manifested++
+					}
+				}
+				b.ReportMetric(float64(manifested)/float64(b.N), "manifest/op")
+			})
+		}
+	}
+}
+
+// --- Figure 7: schedule recording and Levenshtein comparison --------------
+
+func BenchmarkFig7Suite(b *testing.B) {
+	for _, abbr := range harness.Fig7Modules {
+		for _, mode := range []harness.Mode{harness.ModeNFZ, harness.ModeFZ} {
+			abbr, mode := abbr, mode
+			b.Run(fmt.Sprintf("%s/%s", abbr, mode), func(b *testing.B) {
+				var schedules [][]string
+				for i := 0; i < b.N; i++ {
+					rec := sched.NewRecorder()
+					app := bugs.ByAbbr(abbr)
+					seed := int64(i + 1)
+					app.Run(bugs.RunConfig{
+						Seed:      seed,
+						Scheduler: harness.SchedulerFor(mode, seed),
+						Recorder:  rec,
+					})
+					if len(schedules) < 10 {
+						schedules = append(schedules, rec.Types())
+					}
+				}
+				if len(schedules) >= 2 {
+					b.ReportMetric(sched.MeanPairwiseNLD(schedules, 20000), "NLD")
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig7Levenshtein(b *testing.B) {
+	// The DP itself, on schedules the size the paper truncates to per
+	// kilocallback of schedule.
+	alphabet := []string{"timer", "net-read", "work-done", "close", "immediate"}
+	mk := func(n, phase int) []string {
+		s := make([]string, n)
+		for i := range s {
+			s[i] = alphabet[(i+phase)%len(alphabet)]
+		}
+		return s
+	}
+	a, c := mk(1000, 0), mk(1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Levenshtein(a, c)
+	}
+}
+
+// --- Figure 8: suite wall time per mode ------------------------------------
+
+func BenchmarkFig8Suite(b *testing.B) {
+	for _, abbr := range harness.Fig7Modules {
+		for _, mode := range harness.Fig6Modes() {
+			abbr, mode := abbr, mode
+			b.Run(fmt.Sprintf("%s/%s", abbr, mode), func(b *testing.B) {
+				app := bugs.ByAbbr(abbr)
+				for i := 0; i < b.N; i++ {
+					seed := int64(i + 1)
+					app.Run(bugs.RunConfig{
+						Seed:      seed,
+						Scheduler: harness.SchedulerFor(mode, seed),
+					})
+				}
+			})
+		}
+	}
+}
+
+// --- §4.4 fidelity and §5.2.3 guided fuzzing -------------------------------
+
+func BenchmarkFidelity(b *testing.B) {
+	failures := 0
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		newLoop := func() *eventloop.Loop {
+			return eventloop.New(eventloop.Options{
+				Scheduler: core.NewScheduler(core.StandardParams(), seed),
+			})
+		}
+		failures += len(conformance.RunAll(newLoop, seed))
+	}
+	b.ReportMetric(float64(failures)/float64(b.N), "violations/op")
+}
+
+func BenchmarkGuided(b *testing.B) {
+	app := bugs.ByAbbr("KUE-2014")
+	for _, mode := range []harness.Mode{harness.ModeVanilla, harness.ModeFZ, harness.ModeGuided} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			manifested := 0
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+				out := app.Run(bugs.RunConfig{
+					Seed:      seed,
+					Scheduler: harness.SchedulerFor(mode, seed),
+				})
+				if out.Manifested {
+					manifested++
+				}
+			}
+			b.ReportMetric(float64(manifested)/float64(b.N), "manifest/op")
+		})
+	}
+}
+
+// --- Server throughput under each scheduler (extension) --------------------
+
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, mode := range harness.Fig6Modes() {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var requests int
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+				l := eventloop.New(eventloop.Options{Scheduler: harness.SchedulerFor(mode, seed)})
+				net := simnet.New(simnet.Config{
+					Seed:       seed,
+					MinLatency: 300 * time.Microsecond,
+					MaxLatency: time.Millisecond,
+				})
+				srv, err := httpsim.NewServer(l, net, "api")
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv.Handle("GET", "/", func(w *httpsim.ResponseWriter, r *httpsim.Request) {
+					w.Text(httpsim.StatusOK, "ok")
+				})
+				loadgen.Run(l, net, "api", loadgen.Config{
+					Seed:              seed,
+					Clients:           4,
+					RequestsPerClient: 8,
+				}, func(res loadgen.Result) {
+					requests += res.Requests
+					srv.Close()
+				})
+				if err := l.Run(); err != nil {
+					b.Fatal(err)
+				}
+				net.Close()
+			}
+			b.ReportMetric(float64(requests)/float64(b.N), "requests/op")
+		})
+	}
+}
+
+// --- Runtime microbenchmarks ------------------------------------------------
+
+func BenchmarkLoopTimers(b *testing.B) {
+	l := eventloop.New(eventloop.Options{})
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.SetTimeout(0, func() { fired++ })
+	}
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d/%d", fired, b.N)
+	}
+}
+
+func BenchmarkLoopImmediates(b *testing.B) {
+	l := eventloop.New(eventloop.Options{})
+	n := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.SetImmediate(func() { n++ })
+	}
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLoopNextTick(b *testing.B) {
+	l := eventloop.New(eventloop.Options{})
+	n := 0
+	remaining := b.N
+	var chain func()
+	chain = func() {
+		n++
+		remaining--
+		if remaining > 0 {
+			l.NextTick(chain)
+		}
+	}
+	b.ResetTimer()
+	l.NextTick(chain)
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkQueueWork(b *testing.B) {
+	l := eventloop.New(eventloop.Options{PoolSize: 4})
+	done := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.QueueWork("w", func() (any, error) { return nil, nil }, func(any, error) { done++ })
+	}
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkQueueWorkSerialized(b *testing.B) {
+	l := eventloop.New(eventloop.Options{
+		Scheduler: core.NewScheduler(core.NoFuzzParams(), 1),
+	})
+	done := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.QueueWork("w", func() (any, error) { return nil, nil }, func(any, error) { done++ })
+	}
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEmitterEmit(b *testing.B) {
+	e := emitter.New()
+	n := 0
+	for i := 0; i < 8; i++ {
+		e.On("ev", func(...any) { n++ })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Emit("ev")
+	}
+}
+
+func BenchmarkSchedulerShuffle(b *testing.B) {
+	s := core.NewScheduler(core.StandardParams(), 1)
+	events := make([]*eventloop.Event, 64)
+	for i := range events {
+		events[i] = &eventloop.Event{Kind: "net-read"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, deferred := s.ShuffleReady(events)
+		if len(run)+len(deferred) != len(events) {
+			b.Fatal("lost events")
+		}
+	}
+}
+
+func BenchmarkRecorder(b *testing.B) {
+	r := sched.NewRecorder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record("timer", "t")
+	}
+}

@@ -1,0 +1,119 @@
+// Jobqueue: a kue-style priority job queue over the Redis-like store,
+// demonstrating the Figure 3 ordering violation and its fix.
+//
+// When a retryable job fails, the queue must record state 'failed' and then
+// state 'delayed'. The buggy markFailed launches both updates concurrently;
+// the fixed one sequences delayed() inside update()'s callback (§3.4.2,
+// "Order async. calls using callbacks"). Run under Node.fz, the buggy
+// variant regularly leaves the job 'failed' — which would make the recovery
+// scan run it twice.
+//
+//	go run ./examples/jobqueue
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// queue is a minimal kue: jobs are hashes in the store; markFailed is the
+// racy method of Figure 3.
+type queue struct {
+	kv *kvstore.Client
+}
+
+func (q *queue) update(job string, done func()) {
+	q.kv.Set(job+":state", "failed", func(error) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (q *queue) delayed(job string) {
+	q.kv.Set(job+":state", "delayed", nil)
+	q.kv.Set("delayq:"+job, "1", nil)
+}
+
+// markFailed records a retryable failure. fixed selects the patch.
+func (q *queue) markFailed(job string, fixed bool) {
+	if fixed {
+		q.update(job, func() { q.delayed(job) })
+		return
+	}
+	q.update(job, nil)
+	q.delayed(job) // BUG: races with update's write
+}
+
+func trial(fixed bool, seed int64) (finalState string) {
+	sch := core.NewScheduler(core.StandardParams(), seed)
+	l := eventloop.New(eventloop.Options{Scheduler: sch})
+	net := simnet.New(simnet.Config{Seed: seed, MinLatency: time.Millisecond, MaxLatency: 2500 * time.Microsecond})
+	defer net.Close()
+
+	db, err := kvstore.NewServer(l, net, "redis")
+	if err != nil {
+		panic(err)
+	}
+	kvstore.NewClient(l, net, "redis", 2, func(kv *kvstore.Client, err error) {
+		if err != nil {
+			panic(err)
+		}
+		q := &queue{kv: kv}
+		q.markFailed("job:7", fixed)
+		// Poll until both writes have settled, then read the final state.
+		var check func()
+		rounds := 0
+		check = func() {
+			rounds++
+			kv.Get("job:7:state", func(state string, ok bool, _ error) {
+				if state == "delayed" || rounds > 10 {
+					finalState = state
+					kv.Close()
+					db.Close()
+					return
+				}
+				l.SetTimeout(3*time.Millisecond, check)
+			})
+		}
+		l.SetTimeout(10*time.Millisecond, check)
+	})
+
+	deadline := time.Now().Add(30 * time.Millisecond)
+	var tick *eventloop.Timer
+	tick = l.SetIntervalNamed("noise", 1500*time.Microsecond, func() {
+		if time.Now().After(deadline) {
+			tick.Stop()
+		}
+	})
+	l.SetTimeoutNamed("watchdog", 3*time.Second, func() { l.Stop() }).Unref()
+	if err := l.Run(); err != nil {
+		panic(err)
+	}
+	return finalState
+}
+
+func main() {
+	const trials = 15
+	fmt.Println("kue-style markFailed for a retryable job (final state must be 'delayed')")
+	for _, variant := range []struct {
+		name  string
+		fixed bool
+	}{
+		{"buggy (concurrent update+delayed)", false},
+		{"fixed (delayed inside update's callback)", true},
+	} {
+		wrong := 0
+		for i := int64(0); i < trials; i++ {
+			if trial(variant.fixed, i) != "delayed" {
+				wrong++
+			}
+		}
+		fmt.Printf("%-44s job left 'failed' in %d/%d fuzzed runs\n", variant.name, wrong, trials)
+	}
+}

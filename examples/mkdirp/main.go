@@ -1,0 +1,113 @@
+// Mkdirp: the recursive-mkdir race of §3.3.2 on the simulated filesystem,
+// with the errno-checking fix.
+//
+// Two concurrent mkdirp calls share the "/data" prefix. Both observe it
+// missing; one then receives EEXIST for the directory the other just
+// created. The buggy error handling treats that EEXIST as fatal and aborts;
+// the fix checks the error code and verifies the directory with a stat.
+//
+//	go run ./examples/mkdirp
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simfs"
+)
+
+func parent(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+// mkdirp creates path and any missing parents.
+func mkdirp(fsa *simfs.Async, fixed bool, path string, cb func(error)) {
+	fsa.Mkdir(path, func(err error) {
+		switch {
+		case err == nil:
+			cb(nil)
+		case simfs.IsErrno(err, simfs.ENOENT):
+			mkdirp(fsa, fixed, parent(path), func(err2 error) {
+				if err2 != nil {
+					cb(err2)
+					return
+				}
+				mkdirp(fsa, fixed, path, cb)
+			})
+		case simfs.IsErrno(err, simfs.EEXIST) && fixed:
+			fsa.Stat(path, func(info simfs.Info, serr error) {
+				if serr == nil && info.IsDir {
+					cb(nil)
+					return
+				}
+				cb(err)
+			})
+		default:
+			cb(err) // BUG: a racing sibling's EEXIST aborts the whole mkdirp
+		}
+	})
+}
+
+func trial(fixed bool, seed int64) (failures int) {
+	sch := core.NewScheduler(core.StandardParams(), seed)
+	l := eventloop.New(eventloop.Options{Scheduler: sch})
+	fs := simfs.New()
+	fsa := simfs.Bind(l, fs, 1500*time.Microsecond, seed)
+
+	done := 0
+	start := func(path string) {
+		mkdirp(fsa, fixed, path, func(err error) {
+			done++
+			if err != nil {
+				failures++
+			}
+		})
+	}
+	start("/data/alpha")
+	l.SetTimeout(7*time.Millisecond, func() { start("/data/beta") })
+
+	deadline := time.Now().Add(35 * time.Millisecond)
+	var tick *eventloop.Timer
+	tick = l.SetIntervalNamed("noise", 1500*time.Microsecond, func() {
+		if time.Now().After(deadline) {
+			tick.Stop()
+		}
+	})
+	l.SetTimeoutNamed("watchdog", 3*time.Second, func() { l.Stop() }).Unref()
+	if err := l.Run(); err != nil {
+		panic(err)
+	}
+	for _, p := range []string{"/data/alpha", "/data/beta"} {
+		if done == 2 && !fs.Exists(p) {
+			failures++
+		}
+	}
+	return failures
+}
+
+func main() {
+	const trials = 25
+	fmt.Println("two concurrent mkdirp calls sharing the /data prefix, fuzzed")
+	for _, variant := range []struct {
+		name  string
+		fixed bool
+	}{
+		{"buggy (EEXIST is fatal)", false},
+		{"fixed (check err code)", true},
+	} {
+		bad := 0
+		for i := int64(0); i < trials; i++ {
+			if trial(variant.fixed, i) > 0 {
+				bad++
+			}
+		}
+		fmt.Printf("%-26s failed runs: %d/%d\n", variant.name, bad, trials)
+	}
+}

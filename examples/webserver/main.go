@@ -1,0 +1,132 @@
+// Webserver: an event-driven signup service with a check-then-insert race
+// on its database (the GHO' bug shape, §3.3.2), exercised by a small client
+// workload under the vanilla scheduler and under Node.fz.
+//
+// The server asynchronously checks whether a username exists and inserts it
+// if not. Two nearly-concurrent signups for the same name can both miss and
+// both insert. Vanilla scheduling rarely lines the windows up; the fuzzer
+// finds the interleaving far more often — run it and compare.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// trial runs one server+workload execution and reports how many accounts
+// were created for the single username the clients fight over.
+func trial(s eventloop.Scheduler, seed int64) (accounts int) {
+	l := eventloop.New(eventloop.Options{Scheduler: s})
+	net := simnet.New(simnet.Config{Seed: seed, MinLatency: time.Millisecond, MaxLatency: 2 * time.Millisecond})
+	defer net.Close()
+
+	db, err := kvstore.NewServer(l, net, "db")
+	if err != nil {
+		panic(err)
+	}
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpExists {
+			return 4 * time.Millisecond // the lookup scans the accounts table
+		}
+		return time.Millisecond
+	})
+
+	var kv *kvstore.Client
+	ln, err := net.Listen(l, "web", func(c *simnet.Conn) {
+		c.OnData(func(msg []byte) {
+			name := string(msg)
+			// The racy handler: async check, then async insert.
+			kv.Exists("user:"+name, func(exists bool, _ error) {
+				if exists {
+					_ = c.Send([]byte("taken"))
+					return
+				}
+				kv.Set("user:"+name, "1", func(error) {
+					kv.Incr("accounts", func(int, error) {
+						_ = c.Send([]byte("created"))
+					})
+				})
+			})
+		})
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	kvstore.NewClient(l, net, "db", 2, func(c *kvstore.Client, err error) {
+		if err != nil {
+			panic(err)
+		}
+		kv = c
+		replies := 0
+		signup := func() {
+			net.Dial(l, "web", func(conn *simnet.Conn, err error) {
+				if err != nil {
+					return
+				}
+				conn.OnData(func([]byte) {
+					replies++
+					conn.Close()
+					if replies == 2 {
+						kv.Get("accounts", func(val string, ok bool, _ error) {
+							fmt.Sscanf(val, "%d", &accounts)
+							kv.Close()
+							db.Close()
+							ln.Close(nil)
+						})
+					}
+				})
+				_ = conn.Send([]byte("alice"))
+			})
+		}
+		signup()
+		l.SetTimeout(8*time.Millisecond, signup)
+	})
+
+	// The §5.1.1 timer noise that gives the fuzzer something to defer.
+	deadline := time.Now().Add(40 * time.Millisecond)
+	var tick *eventloop.Timer
+	tick = l.SetIntervalNamed("noise", 1500*time.Microsecond, func() {
+		if time.Now().After(deadline) {
+			tick.Stop()
+		}
+	})
+	l.SetTimeoutNamed("watchdog", 3*time.Second, func() { l.Stop() }).Unref()
+
+	if err := l.Run(); err != nil {
+		panic(err)
+	}
+	return accounts
+}
+
+func main() {
+	const trials = 15
+	fmt.Println("signup service: two near-concurrent signups for the same username")
+	fmt.Printf("%-24s %s\n", "scheduler", "trials with a duplicate account")
+
+	for _, cfg := range []struct {
+		name string
+		mk   func(seed int64) eventloop.Scheduler
+	}{
+		{"nodeV (vanilla)", func(int64) eventloop.Scheduler { return eventloop.VanillaScheduler{} }},
+		{"nodeFZ (standard)", func(seed int64) eventloop.Scheduler {
+			return core.NewScheduler(core.StandardParams(), seed)
+		}},
+	} {
+		dups := 0
+		for i := int64(0); i < trials; i++ {
+			if trial(cfg.mk(i), i) > 1 {
+				dups++
+			}
+		}
+		fmt.Printf("%-24s %d/%d\n", cfg.name, dups, trials)
+	}
+	fmt.Println("\nThe fix: make the check and insert one atomic operation (SETNX).")
+}

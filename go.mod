@@ -1,0 +1,3 @@
+module nodefz
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package asyncutil provides the continuation-passing control-flow helpers
+// the paper's bug fixes rely on (§3.4.2): the async module's waterfall,
+// series and parallel patterns, the "async barrier" that fixed RST's
+// commutative ordering violation, and the shared-counter Gate that fixed
+// MGS and FPS (the `--remaining === 0` pattern of Figure 4).
+//
+// The helpers are deliberately loop-agnostic: steps launch their own
+// asynchronous work against whatever substrate they like and signal
+// completion through their callback, exactly like their JavaScript
+// counterparts. All bookkeeping therefore happens on the event-loop
+// goroutine and needs no locking.
+package asyncutil
+
+// Callback receives the outcome of one asynchronous step.
+type Callback func(err error, result any)
+
+// Step is one stage of a Waterfall: it receives the previous stage's result
+// and a next callback to invoke exactly once when it finishes.
+type Step func(prev any, next Callback)
+
+// Waterfall runs steps in order, feeding each step's result to the next,
+// and calls final with the last result — the async.waterfall pattern (used,
+// and still raced on, in WPT §3.4.3). On the first error the remaining
+// steps are skipped and final receives the error.
+func Waterfall(steps []Step, final Callback) {
+	if final == nil {
+		final = func(error, any) {}
+	}
+	var runFrom func(i int, prev any)
+	runFrom = func(i int, prev any) {
+		if i == len(steps) {
+			final(nil, prev)
+			return
+		}
+		steps[i](prev, func(err error, result any) {
+			if err != nil {
+				final(err, nil)
+				return
+			}
+			runFrom(i+1, result)
+		})
+	}
+	runFrom(0, nil)
+}
+
+// Task is an independent asynchronous task for Parallel/Series.
+type Task func(done Callback)
+
+// Series runs tasks one at a time, in order, collecting their results. On
+// the first error the remaining tasks are skipped.
+func Series(tasks []Task, final func(err error, results []any)) {
+	if final == nil {
+		final = func(error, []any) {}
+	}
+	results := make([]any, 0, len(tasks))
+	var runFrom func(i int)
+	runFrom = func(i int) {
+		if i == len(tasks) {
+			final(nil, results)
+			return
+		}
+		tasks[i](func(err error, result any) {
+			if err != nil {
+				final(err, nil)
+				return
+			}
+			results = append(results, result)
+			runFrom(i + 1)
+		})
+	}
+	runFrom(0)
+}
+
+// Parallel launches every task immediately and calls final once all have
+// completed, with results in task order. The first error wins and final is
+// called exactly once, immediately, with that error. Tasks may complete in
+// any order — the helper is the commutativity-safe pattern whose absence
+// causes COV bugs (§3.2.2).
+func Parallel(tasks []Task, final func(err error, results []any)) {
+	if final == nil {
+		final = func(error, []any) {}
+	}
+	if len(tasks) == 0 {
+		final(nil, nil)
+		return
+	}
+	results := make([]any, len(tasks))
+	remaining := len(tasks)
+	failed := false
+	for i, task := range tasks {
+		i := i
+		task(func(err error, result any) {
+			if failed {
+				return
+			}
+			if err != nil {
+				failed = true
+				final(err, nil)
+				return
+			}
+			results[i] = result
+			remaining--
+			if remaining == 0 {
+				final(nil, results)
+			}
+		})
+	}
+}
+
+// Barrier is the EDA analogue of MPI_Barrier (§3.2.2 footnote): it fires
+// its callback once exactly n arrivals have occurred, regardless of their
+// order. It is the fix applied to RST's COV bug.
+type Barrier struct {
+	remaining int
+	fn        func()
+	fired     bool
+}
+
+// NewBarrier returns a Barrier that calls fn after n arrivals. n <= 0 fires
+// immediately upon construction.
+func NewBarrier(n int, fn func()) *Barrier {
+	b := &Barrier{remaining: n, fn: fn}
+	if n <= 0 {
+		b.fire()
+	}
+	return b
+}
+
+// Arrive records one arrival; the n-th arrival fires the callback. Arrivals
+// beyond n are ignored.
+func (b *Barrier) Arrive() {
+	if b.fired {
+		return
+	}
+	b.remaining--
+	if b.remaining <= 0 {
+		b.fire()
+	}
+}
+
+// Remaining reports how many arrivals are still outstanding.
+func (b *Barrier) Remaining() int { return b.remaining }
+
+// Fired reports whether the barrier has released.
+func (b *Barrier) Fired() bool { return b.fired }
+
+func (b *Barrier) fire() {
+	b.fired = true
+	if b.fn != nil {
+		b.fn()
+	}
+}
+
+// Gate is the shared-counter idiom from the MGS fix (Figure 4): initialize
+// with the number of outstanding requests, decrement in each completion
+// callback, and the callback for which the counter reaches zero resolves.
+type Gate struct {
+	remaining int
+}
+
+// NewGate returns a Gate expecting n completions.
+func NewGate(n int) *Gate { return &Gate{remaining: n} }
+
+// Done records one completion and reports whether this was the final one
+// (the `--remaining === 0` test).
+func (g *Gate) Done() bool {
+	g.remaining--
+	return g.remaining == 0
+}
+
+// Remaining reports the outstanding count.
+func (g *Gate) Remaining() int { return g.remaining }

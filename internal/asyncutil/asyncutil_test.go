@@ -1,0 +1,187 @@
+package asyncutil
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestWaterfallThreadsResults(t *testing.T) {
+	var got any
+	Waterfall([]Step{
+		func(prev any, next Callback) { next(nil, 1) },
+		func(prev any, next Callback) { next(nil, prev.(int)+10) },
+		func(prev any, next Callback) { next(nil, prev.(int)*2) },
+	}, func(err error, result any) {
+		if err != nil {
+			t.Fatalf("err = %v", err)
+		}
+		got = result
+	})
+	if got != 22 {
+		t.Fatalf("result = %v, want 22", got)
+	}
+}
+
+func TestWaterfallStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	ran3 := false
+	var gotErr error
+	Waterfall([]Step{
+		func(prev any, next Callback) { next(nil, nil) },
+		func(prev any, next Callback) { next(boom, nil) },
+		func(prev any, next Callback) { ran3 = true; next(nil, nil) },
+	}, func(err error, _ any) { gotErr = err })
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	if ran3 {
+		t.Fatal("step after error ran")
+	}
+}
+
+func TestWaterfallEmpty(t *testing.T) {
+	called := false
+	Waterfall(nil, func(err error, result any) {
+		called = true
+		if err != nil || result != nil {
+			t.Fatalf("got (%v, %v)", err, result)
+		}
+	})
+	if !called {
+		t.Fatal("final not called")
+	}
+}
+
+func TestSeriesCollectsInOrder(t *testing.T) {
+	var results []any
+	Series([]Task{
+		func(done Callback) { done(nil, "a") },
+		func(done Callback) { done(nil, "b") },
+		func(done Callback) { done(nil, "c") },
+	}, func(err error, res []any) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = res
+	})
+	if !reflect.DeepEqual(results, []any{"a", "b", "c"}) {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestSeriesStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	var gotErr error
+	Series([]Task{
+		func(done Callback) { ran++; done(nil, nil) },
+		func(done Callback) { ran++; done(boom, nil) },
+		func(done Callback) { ran++; done(nil, nil) },
+	}, func(err error, _ []any) { gotErr = err })
+	if ran != 2 || !errors.Is(gotErr, boom) {
+		t.Fatalf("ran=%d err=%v", ran, gotErr)
+	}
+}
+
+// TestParallelOutOfOrderCompletion completes tasks in reverse order by
+// capturing their callbacks: results must still land in task order.
+func TestParallelOutOfOrderCompletion(t *testing.T) {
+	var pending []Callback
+	var results []any
+	done := false
+	Parallel([]Task{
+		func(d Callback) { pending = append(pending, d) },
+		func(d Callback) { pending = append(pending, d) },
+		func(d Callback) { pending = append(pending, d) },
+	}, func(err error, res []any) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = res
+		done = true
+	})
+	if done {
+		t.Fatal("final ran before tasks completed")
+	}
+	// Complete in reverse.
+	pending[2](nil, "c")
+	pending[0](nil, "a")
+	if done {
+		t.Fatal("final ran with one task outstanding")
+	}
+	pending[1](nil, "b")
+	if !done {
+		t.Fatal("final never ran")
+	}
+	if !reflect.DeepEqual(results, []any{"a", "b", "c"}) {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestParallelFirstErrorWinsOnce(t *testing.T) {
+	var pending []Callback
+	calls := 0
+	Parallel([]Task{
+		func(d Callback) { pending = append(pending, d) },
+		func(d Callback) { pending = append(pending, d) },
+	}, func(err error, _ []any) { calls++ })
+	pending[0](errors.New("x"), nil)
+	pending[1](nil, "late")
+	if calls != 1 {
+		t.Fatalf("final called %d times, want 1", calls)
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	called := false
+	Parallel(nil, func(err error, res []any) { called = true })
+	if !called {
+		t.Fatal("final not called for empty task list")
+	}
+}
+
+func TestBarrierFiresOnNthArrival(t *testing.T) {
+	fired := 0
+	b := NewBarrier(3, func() { fired++ })
+	b.Arrive()
+	b.Arrive()
+	if b.Fired() || fired != 0 {
+		t.Fatal("barrier fired early")
+	}
+	if b.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+	b.Arrive()
+	if !b.Fired() || fired != 1 {
+		t.Fatal("barrier did not fire on nth arrival")
+	}
+	b.Arrive() // extra arrivals ignored
+	if fired != 1 {
+		t.Fatalf("barrier fired %d times", fired)
+	}
+}
+
+func TestBarrierZeroFiresImmediately(t *testing.T) {
+	fired := false
+	NewBarrier(0, func() { fired = true })
+	if !fired {
+		t.Fatal("zero barrier did not fire at construction")
+	}
+}
+
+func TestGateCountsDown(t *testing.T) {
+	g := NewGate(3)
+	if g.Done() || g.Done() {
+		t.Fatal("gate released early")
+	}
+	if g.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", g.Remaining())
+	}
+	if !g.Done() {
+		t.Fatal("gate did not release on final Done")
+	}
+	if g.Done() {
+		t.Fatal("gate released twice")
+	}
+}

@@ -1,0 +1,196 @@
+package asyncutil
+
+import (
+	"nodefz/internal/eventloop"
+)
+
+// Promise is a JavaScript-style promise bound to one event loop. §3.4.2
+// names promises (Bluebird) as one of the community's two standard
+// ordering-violation fixes, and Promise.all as a correct repair for
+// commutative ordering violations ("Bluebird's Promise.all API would also
+// have served" for RST; "the async.barrier and Promise.all APIs ... are
+// also suitable for addressing COV bugs").
+//
+// Settlement callbacks run as microtasks (the loop's NextTick queue),
+// matching the JavaScript semantics: a Then callback never runs
+// synchronously inside resolve, and always before the loop proceeds to
+// other events. Promises are loop-side objects; Resolve/Reject are
+// additionally safe to call from worker-pool completion callbacks since
+// those run on the loop too.
+type Promise struct {
+	loop    *eventloop.Loop
+	state   int // 0 pending, 1 fulfilled, 2 rejected
+	value   any
+	err     error
+	waiters []func()
+}
+
+// NewPromise runs executor immediately (like the JS constructor) with the
+// settlement functions. Settling more than once is a no-op.
+func NewPromise(l *eventloop.Loop, executor func(resolve func(any), reject func(error))) *Promise {
+	p := &Promise{loop: l}
+	executor(p.resolve, p.reject)
+	return p
+}
+
+// ResolvedPromise returns an already-fulfilled promise.
+func ResolvedPromise(l *eventloop.Loop, v any) *Promise {
+	return NewPromise(l, func(resolve func(any), _ func(error)) { resolve(v) })
+}
+
+// RejectedPromise returns an already-rejected promise.
+func RejectedPromise(l *eventloop.Loop, err error) *Promise {
+	return NewPromise(l, func(_ func(any), reject func(error)) { reject(err) })
+}
+
+// Pending reports whether the promise is unsettled.
+func (p *Promise) Pending() bool { return p.state == 0 }
+
+func (p *Promise) resolve(v any) {
+	if p.state != 0 {
+		return
+	}
+	p.state = 1
+	p.value = v
+	p.flush()
+}
+
+func (p *Promise) reject(err error) {
+	if p.state != 0 {
+		return
+	}
+	p.state = 2
+	p.err = err
+	p.flush()
+}
+
+func (p *Promise) flush() {
+	waiters := p.waiters
+	p.waiters = nil
+	for _, w := range waiters {
+		p.loop.NextTickNamed("promise", w)
+	}
+}
+
+// settled registers fn to run as a microtask once the promise settles.
+func (p *Promise) settled(fn func()) {
+	if p.state != 0 {
+		p.loop.NextTickNamed("promise", fn)
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}
+
+// Then chains a fulfillment handler; its return value (or error) settles
+// the returned promise. A rejection skips fn and propagates.
+func (p *Promise) Then(fn func(any) (any, error)) *Promise {
+	next := &Promise{loop: p.loop}
+	p.settled(func() {
+		if p.state == 2 {
+			next.reject(p.err)
+			return
+		}
+		v, err := fn(p.value)
+		if err != nil {
+			next.reject(err)
+			return
+		}
+		// Chaining: a returned promise is adopted.
+		if inner, ok := v.(*Promise); ok {
+			inner.settled(func() {
+				if inner.state == 2 {
+					next.reject(inner.err)
+					return
+				}
+				next.resolve(inner.value)
+			})
+			return
+		}
+		next.resolve(v)
+	})
+	return next
+}
+
+// Catch chains a rejection handler; fulfillment passes through untouched.
+// fn's return value fulfills the returned promise (recovery), its error
+// re-rejects it.
+func (p *Promise) Catch(fn func(error) (any, error)) *Promise {
+	next := &Promise{loop: p.loop}
+	p.settled(func() {
+		if p.state == 1 {
+			next.resolve(p.value)
+			return
+		}
+		v, err := fn(p.err)
+		if err != nil {
+			next.reject(err)
+			return
+		}
+		next.resolve(v)
+	})
+	return next
+}
+
+// Finally runs fn on settlement either way and passes the outcome through.
+func (p *Promise) Finally(fn func()) *Promise {
+	next := &Promise{loop: p.loop}
+	p.settled(func() {
+		fn()
+		if p.state == 2 {
+			next.reject(p.err)
+			return
+		}
+		next.resolve(p.value)
+	})
+	return next
+}
+
+// PromiseAll resolves once every input promise has fulfilled, with the
+// values in input order — the commutativity-safe completion §3.4.2
+// recommends for COV bugs. The first rejection rejects the result.
+func PromiseAll(l *eventloop.Loop, ps []*Promise) *Promise {
+	result := &Promise{loop: l}
+	if len(ps) == 0 {
+		result.resolve([]any{})
+		return result
+	}
+	values := make([]any, len(ps))
+	remaining := len(ps)
+	for i, p := range ps {
+		i, p := i, p
+		p.settled(func() {
+			if result.state != 0 {
+				return
+			}
+			if p.state == 2 {
+				result.reject(p.err)
+				return
+			}
+			values[i] = p.value
+			remaining--
+			if remaining == 0 {
+				result.resolve(values)
+			}
+		})
+	}
+	return result
+}
+
+// PromiseRace settles with the first input promise to settle.
+func PromiseRace(l *eventloop.Loop, ps []*Promise) *Promise {
+	result := &Promise{loop: l}
+	for _, p := range ps {
+		p := p
+		p.settled(func() {
+			if result.state != 0 {
+				return
+			}
+			if p.state == 2 {
+				result.reject(p.err)
+				return
+			}
+			result.resolve(p.value)
+		})
+	}
+	return result
+}

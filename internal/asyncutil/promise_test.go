@@ -1,0 +1,231 @@
+package asyncutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func TestPromiseThenChain(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var got any
+	ResolvedPromise(l, 3).
+		Then(func(v any) (any, error) { return v.(int) * 2, nil }).
+		Then(func(v any) (any, error) { return v.(int) + 1, nil }).
+		Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if got != 7 {
+		t.Fatalf("got %v, want 7", got)
+	}
+}
+
+func TestPromiseAsyncResolution(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var got any
+	p := NewPromise(l, func(resolve func(any), reject func(error)) {
+		l.SetTimeout(2*time.Millisecond, func() { resolve("late") })
+	})
+	if !p.Pending() {
+		t.Fatal("promise settled before its timer")
+	}
+	p.Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if got != "late" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPromiseRejectionSkipsThenAndHitsCatch(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	boom := errors.New("boom")
+	thenRan := false
+	var caught error
+	var recovered any
+	RejectedPromise(l, boom).
+		Then(func(v any) (any, error) { thenRan = true; return v, nil }).
+		Catch(func(err error) (any, error) { caught = err; return "recovered", nil }).
+		Then(func(v any) (any, error) { recovered = v; return nil, nil })
+	runLoop(t, l)
+	if thenRan {
+		t.Fatal("Then ran on a rejected promise")
+	}
+	if !errors.Is(caught, boom) {
+		t.Fatalf("caught %v", caught)
+	}
+	if recovered != "recovered" {
+		t.Fatalf("recovered = %v", recovered)
+	}
+}
+
+func TestPromiseThenErrorRejectsChain(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	boom := errors.New("mid-chain")
+	var caught error
+	ResolvedPromise(l, 1).
+		Then(func(any) (any, error) { return nil, boom }).
+		Catch(func(err error) (any, error) { caught = err; return nil, nil })
+	runLoop(t, l)
+	if !errors.Is(caught, boom) {
+		t.Fatalf("caught %v", caught)
+	}
+}
+
+func TestPromiseAdoptsReturnedPromise(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var got any
+	ResolvedPromise(l, nil).
+		Then(func(any) (any, error) {
+			return NewPromise(l, func(resolve func(any), _ func(error)) {
+				l.SetTimeout(time.Millisecond, func() { resolve("inner") })
+			}), nil
+		}).
+		Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if got != "inner" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPromiseDoubleSettleIgnored(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var got any
+	NewPromise(l, func(resolve func(any), reject func(error)) {
+		resolve("first")
+		resolve("second")
+		reject(errors.New("late reject"))
+	}).Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if got != "first" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPromiseFinallyRunsBothWays(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	ran := 0
+	var caught error
+	ResolvedPromise(l, 1).Finally(func() { ran++ })
+	RejectedPromise(l, errors.New("x")).
+		Finally(func() { ran++ }).
+		Catch(func(err error) (any, error) { caught = err; return nil, nil })
+	runLoop(t, l)
+	if ran != 2 || caught == nil {
+		t.Fatalf("ran=%d caught=%v", ran, caught)
+	}
+}
+
+func TestPromiseMicrotaskOrdering(t *testing.T) {
+	// Then callbacks run before immediates, like JS microtasks vs macrotasks.
+	l := eventloop.New(eventloop.Options{})
+	var order []string
+	l.SetTimeout(time.Millisecond, func() {
+		l.SetImmediate(func() { order = append(order, "immediate") })
+		ResolvedPromise(l, nil).Then(func(any) (any, error) {
+			order = append(order, "then")
+			return nil, nil
+		})
+		order = append(order, "sync")
+	})
+	runLoop(t, l)
+	want := []string{"sync", "then", "immediate"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestPromiseAllIsTheCOVFix rebuilds the Figure 4 scenario with the §3.4.2
+// remedy: N out-of-order asynchronous completions, and the final step runs
+// only after every one of them, with values in launch order.
+func TestPromiseAllIsTheCOVFix(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	const n = 5
+	var ps []*Promise
+	for i := 0; i < n; i++ {
+		i := i
+		ps = append(ps, NewPromise(l, func(resolve func(any), _ func(error)) {
+			// Completion order is reversed relative to launch order.
+			l.SetTimeout(time.Duration(n-i)*time.Millisecond, func() { resolve(i) })
+		}))
+	}
+	var got []any
+	PromiseAll(l, ps).Then(func(v any) (any, error) {
+		got = v.([]any)
+		return nil, nil
+	})
+	runLoop(t, l)
+	if len(got) != n {
+		t.Fatalf("resolved with %d/%d values", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("values out of launch order: %v", got)
+		}
+	}
+}
+
+func TestPromiseAllRejectsOnFirstFailure(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	boom := errors.New("one failed")
+	ps := []*Promise{
+		ResolvedPromise(l, 1),
+		RejectedPromise(l, boom),
+		ResolvedPromise(l, 3),
+	}
+	var caught error
+	fulfilled := false
+	PromiseAll(l, ps).
+		Then(func(any) (any, error) { fulfilled = true; return nil, nil }).
+		Catch(func(err error) (any, error) { caught = err; return nil, nil })
+	runLoop(t, l)
+	if fulfilled {
+		t.Fatal("all fulfilled despite a rejection")
+	}
+	if !errors.Is(caught, boom) {
+		t.Fatalf("caught %v", caught)
+	}
+}
+
+func TestPromiseAllEmpty(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var got any
+	PromiseAll(l, nil).Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if vs, ok := got.([]any); !ok || len(vs) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPromiseRaceFirstWins(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	mk := func(d time.Duration, v any) *Promise {
+		return NewPromise(l, func(resolve func(any), _ func(error)) {
+			l.SetTimeout(d, func() { resolve(v) })
+		})
+	}
+	var got any
+	PromiseRace(l, []*Promise{
+		mk(6*time.Millisecond, "slow"),
+		mk(time.Millisecond, "fast"),
+	}).Then(func(v any) (any, error) { got = v; return nil, nil })
+	runLoop(t, l)
+	if got != "fast" {
+		t.Fatalf("got %v", got)
+	}
+}

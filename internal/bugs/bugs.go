@@ -1,0 +1,214 @@
+// Package bugs is the executable bug corpus: one miniature EDA application
+// per concurrency bug from the paper's study (§3, Table 2), plus the novel
+// bugs of §5.2 and the "race against time" of §5.2.3.
+//
+// Each App distils the racy kernel the paper documents — the same shared
+// state, the same racing events, the same anti-pattern — onto this
+// repository's substrates (simnet for network traffic, simfs for the file
+// system, kvstore for the database). Every App has:
+//
+//   - Run: the buggy variant, returning whether the race manifested on this
+//     execution, detected the way the paper's impact column describes
+//     (crash via nil value, hung request, duplicated DB row, ...);
+//   - RunFixed: the paper's patch applied, which must never manifest.
+//
+// Test cases follow §5.1.1: they are functional-style, with timer "noise"
+// injected so the schedule fuzzer has realistic nondeterminism to amplify,
+// and they stage operations with small gaps that vanilla scheduling honours
+// but fuzzed schedules stretch across.
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simfs"
+	"nodefz/internal/simnet"
+)
+
+// RunConfig parameterizes one execution of a bug application.
+type RunConfig struct {
+	// Seed drives the substrate latency models (and, indirectly, vanilla
+	// nondeterminism). The fuzzing scheduler carries its own seed.
+	Seed int64
+	// Scheduler runs the loop; nil means eventloop.VanillaScheduler.
+	Scheduler eventloop.Scheduler
+	// Recorder, when non-nil, captures the type schedule.
+	Recorder eventloop.Recorder
+}
+
+// NewLoop builds the event loop for a trial.
+func (cfg RunConfig) NewLoop() *eventloop.Loop {
+	return eventloop.New(eventloop.Options{
+		Scheduler: cfg.Scheduler,
+		Recorder:  cfg.Recorder,
+	})
+}
+
+// NewNet builds the trial's network with the trial seed.
+//
+// The latency scale (milliseconds, not microseconds) is deliberate: the
+// harness must work on stock kernels whose sleep/timer granularity is
+// about a millisecond, so every meaningful interval in the corpus sits
+// well above that granularity.
+func (cfg RunConfig) NewNet() *simnet.Network {
+	return simnet.New(simnet.Config{
+		Seed:       cfg.Seed,
+		MinLatency: 1 * time.Millisecond,
+		MaxLatency: 2500 * time.Microsecond,
+	})
+}
+
+// FSLatency is the base service time for asynchronous filesystem
+// operations in the corpus; see simfs.Bind's jitter.
+const FSLatency = 1500 * time.Microsecond
+
+// AddTimerNoise registers the heartbeat timers that §5.1.1's adapted test
+// cases introduce ("we adapted the external test cases ... by introducing
+// non-determinism (e.g. file system calls or timers)"). Under vanilla
+// scheduling they are invisible; under the fuzzer each expiry is a chance
+// for a timer deferral and its injected delay, stretching the schedule.
+func AddTimerNoise(l *eventloop.Loop, every, until time.Duration) {
+	deadline := time.Now().Add(until)
+	var tick *eventloop.Timer
+	tick = l.SetIntervalNamed("noise", every, func() {
+		if time.Now().After(deadline) {
+			tick.Stop()
+		}
+	})
+}
+
+// AddFSNoise registers the file-system noise §5.1.1's adapted test cases
+// introduce: an interval timer issuing small stat calls against a private
+// in-memory filesystem. Under vanilla scheduling the stats run on spare
+// worker-pool capacity and are invisible; under the fuzzer — pool size 1,
+// task-queue lookahead — they share the single worker's queue with the
+// application's file-system operations, and the scheduler's random task
+// picking (Table 3, worker DoF) can hold an application operation back
+// behind them.
+func AddFSNoise(l *eventloop.Loop, seed int64, every, until time.Duration) {
+	noiseFS := simfs.New()
+	if err := noiseFS.Create("/noise"); err != nil {
+		panic(err)
+	}
+	fsa := simfs.Bind(l, noiseFS, 500*time.Microsecond, seed)
+	deadline := time.Now().Add(until)
+	var tick *eventloop.Timer
+	tick = l.SetIntervalNamed("fs-noise", every, func() {
+		if time.Now().After(deadline) {
+			tick.Stop()
+			return
+		}
+		fsa.Stat("/noise", func(simfs.Info, error) {})
+	})
+}
+
+// Watchdog force-stops the loop after d if a trial wedges (a hung request
+// is a *detected outcome* for several bugs, not a reason to hang the
+// harness). The timer is unref'd so it never keeps a healthy trial alive.
+func Watchdog(l *eventloop.Loop, d time.Duration) {
+	l.SetTimeoutNamed("watchdog", d, func() { l.Stop() }).Unref()
+}
+
+// WaitUntil polls cond on the loop: the first check runs after first, then
+// every interval, at most rounds times; done receives whether cond became
+// true. Bug detectors use it instead of a single deadline so that a fuzzed
+// schedule's injected delays (which slow legitimate processing and timers
+// alike) cannot misread a *late* outcome as a *missing* one: only an
+// outcome that never arrives within the whole retry budget counts.
+func WaitUntil(l *eventloop.Loop, first, interval time.Duration, rounds int, cond func() bool, done func(ok bool)) {
+	attempt := 0
+	var check func()
+	check = func() {
+		if cond() {
+			done(true)
+			return
+		}
+		attempt++
+		if attempt >= rounds {
+			done(false)
+			return
+		}
+		l.SetTimeoutNamed("detector", interval, check)
+	}
+	l.SetTimeoutNamed("detector", first, check)
+}
+
+// Outcome reports one trial.
+type Outcome struct {
+	// Manifested is true when the concurrency bug's effect was observed.
+	Manifested bool
+	// Note describes what was observed, in the terms of Table 2's impact
+	// column.
+	Note string
+}
+
+// App is one corpus entry. The metadata columns mirror Tables 1 and 2.
+type App struct {
+	Abbr  string // table abbreviation, e.g. "SIO"
+	Name  string // project name, e.g. "socket.io"
+	Issue string // GitHub issue / PR / commit
+	Type  string // "Application" or "Module"
+	LoC   string // Table 1 source size
+	DlMo  string // Table 1 downloads/month
+	Desc  string // Table 1 description
+
+	RaceType     string // "AV", "OV", "COV"
+	RacingEvents string // Table 2 racing events column
+	RaceOn       string // Table 2 race-on column
+	Impact       string // Table 2 impact column
+	FixStrategy  string // Table 2 fix column
+
+	Novel  bool // one of the §5.2 novel bugs
+	InFig6 bool // part of the paper's Figure 6 evaluation set
+
+	// Run executes the buggy variant once.
+	Run func(RunConfig) Outcome
+	// RunFixed executes the variant with the paper's patch applied; nil
+	// when the paper's fix is "unknown" (KUE novel).
+	RunFixed func(RunConfig) Outcome
+}
+
+// registry holds the corpus in Table 2 order; see registry.go.
+var registry []*App
+
+// All returns the corpus in Table 2 order.
+func All() []*App {
+	out := make([]*App, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Fig6Set returns the apps evaluated in Figure 6 (§5.1.1 exclusions
+// applied: EPL needs a browser, WPT is CoffeeScript, RST manifests readily
+// even on vanilla Node, GHO is replaced by the standalone GHO').
+func Fig6Set() []*App {
+	var out []*App
+	for _, a := range registry {
+		if a.InFig6 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Studied returns the non-novel corpus (the 12 bugs of the §3 study).
+func Studied() []*App {
+	var out []*App
+	for _, a := range registry {
+		if !a.Novel {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByAbbr finds an app by its table abbreviation; nil when absent.
+func ByAbbr(abbr string) *App {
+	for _, a := range registry {
+		if a.Abbr == abbr {
+			return a
+		}
+	}
+	return nil
+}

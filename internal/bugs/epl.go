@@ -1,0 +1,161 @@
+package bugs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// eplApp models etherpad-lite bug #2674 (Table 2, row 1): an atomicity
+// violation between two network callbacks racing on the pad's session
+// array. Handling an "edit" message fetches the pad text from the database
+// asynchronously and then dereferences the editor's session entry in the
+// completion callback; a "leave" message arriving in between clears that
+// entry, so the completion callback dereferences null and crashes the
+// server.
+//
+// The paper's fix ("check not null before use") guards the dereference.
+func eplApp() *App {
+	return &App{
+		Abbr: "EPL", Name: "etherpad-lite", Issue: "2674",
+		Type: "Application", LoC: "43K", DlMo: "N/A",
+		Desc:         "Collaborative document editing",
+		RaceType:     "AV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Array",
+		Impact:       "Crash (null dereference).",
+		FixStrategy:  "Check not null before use.",
+		InFig6:       false, // §5.1.1: excluded, triggered by browser interaction
+		Run:          func(cfg RunConfig) Outcome { return eplRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return eplRun(cfg, true) },
+	}
+}
+
+type eplSession struct {
+	user string
+}
+
+func eplRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "db")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// Fetching the pad text is a real query with service time; the racing
+	// window is the time the edit's completion spends in flight.
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpGet {
+			return 6 * time.Millisecond
+		}
+		return time.Millisecond
+	})
+
+	// --- the pad server (the racy code) ---
+	var sessions []*eplSession // the shared array of Table 2
+	var kv *kvstore.Client
+	editsServed := 0
+	editResolved := false // the edit's DB callback ran (either way)
+
+	padLn, err := net.Listen(l, "pad", func(c *simnet.Conn) {
+		c.OnData(func(msg []byte) {
+			s := string(msg)
+			switch {
+			case s == "join":
+				sessions = append(sessions, &eplSession{user: "alice"})
+				_ = c.Send([]byte(fmt.Sprintf("joined:%d", len(sessions)-1)))
+
+			case strings.HasPrefix(s, "edit:"):
+				var idx int
+				fmt.Sscanf(s, "edit:%d", &idx)
+				// Asynchronous fetch of the pad text; the session entry is
+				// dereferenced only in the completion callback.
+				kv.Get("pad:text", func(text string, ok bool, err error) {
+					editResolved = true
+					entry := sessions[idx]
+					if entry == nil {
+						if fixed {
+							// Patched: check not null before use; the edit
+							// is dropped gracefully.
+							return
+						}
+						out.Manifested = true
+						out.Note = "crash: null dereference of sessions[" +
+							fmt.Sprint(idx) + "] in edit callback"
+						return
+					}
+					_ = entry.user
+					editsServed++
+					_ = c.Send([]byte("edited"))
+				})
+
+			case strings.HasPrefix(s, "leave:"):
+				var idx int
+				fmt.Sscanf(s, "leave:%d", &idx)
+				if idx >= 0 && idx < len(sessions) {
+					sessions[idx] = nil
+				}
+				_ = c.Send([]byte("left"))
+			}
+		})
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	// --- the test case ---
+	// A client joins, edits, and leaves shortly after. Under an unperturbed
+	// schedule the edit's database fetch completes well before the leave;
+	// a fuzzed schedule can hold the fetch completion back past it.
+	kvstore.NewClient(l, net, "db", 1, func(c *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		kv = c
+		kv.Set("pad:text", "lorem ipsum", func(error) {
+			net.Dial(l, "pad", func(conn *simnet.Conn, err error) {
+				if err != nil {
+					if out.Note == "" {
+						out.Note = "setup: " + err.Error()
+					}
+					return
+				}
+				conn.OnData(func(msg []byte) {
+					if string(msg) == "joined:0" {
+						_ = conn.Send([]byte("edit:0"))
+						l.SetTimeout(14*time.Millisecond, func() {
+							_ = conn.Send([]byte("leave:0"))
+							WaitUntil(l, 10*time.Millisecond, 8*time.Millisecond, 10,
+								func() bool { return editResolved },
+								func(bool) {
+									conn.Close()
+									padLn.Close(nil)
+									kv.Close()
+									db.Close()
+								})
+						})
+					}
+				})
+				_ = conn.Send([]byte("join"))
+			})
+		})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 60*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	_ = editsServed
+	return out
+}

@@ -1,0 +1,146 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// fpsApp models fiware-pep-steelskin bug #269 (Table 2, row 3): an
+// atomicity violation on a module-level variable in a policy-enforcement
+// proxy. The request handler stashes the in-flight request in a shared
+// variable and the asynchronous validation callbacks read it back; a second
+// request overwrites the variable before the first request's callbacks run,
+// so the first request's response is composed against the wrong state and
+// that client never receives a reply — "request hangs".
+//
+// The paper's fix corrects the control flow so each callback chain carries
+// its own request (a closure here).
+func fpsApp() *App {
+	return &App{
+		Abbr: "FPS", Name: "fiware-pep-steelskin", Issue: "269",
+		Type: "Module", LoC: "8.2K", DlMo: "4",
+		Desc:         "Policy enforcement point proxy",
+		RaceType:     "AV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Variable",
+		Impact:       "Request hangs.",
+		FixStrategy:  "Fix incorrect control flow.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return fpsRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return fpsRun(cfg, true) },
+	}
+}
+
+type fpsRequest struct {
+	conn    *simnet.Conn
+	name    string
+	replied bool
+}
+
+func fpsRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "db")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// Policy lookups hit the access-control store; role lookups are cached.
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpGet && len(args) > 0 && len(args[0]) > 6 && args[0][:6] == "policy" {
+			return 5 * time.Millisecond
+		}
+		return time.Millisecond
+	})
+
+	var kv *kvstore.Client
+	var requests []*fpsRequest
+
+	// current is the module-level in-flight request of the buggy control
+	// flow. The fixed variant never reads it.
+	var current *fpsRequest
+
+	handle := func(c *simnet.Conn, name string) {
+		r := &fpsRequest{conn: c, name: name}
+		requests = append(requests, r)
+		current = r
+		// Two-step asynchronous validation, as in the proxy: policy lookup,
+		// then role lookup, then the verdict is sent.
+		kv.Get("policy:"+name, func(string, bool, error) {
+			req := current // BUG: should be the closed-over r
+			if fixed {
+				req = r
+			}
+			kv.Get("role:"+req.name, func(string, bool, error) {
+				if !req.replied {
+					req.replied = true
+					_ = req.conn.Send([]byte("allow:" + req.name))
+				}
+			})
+		})
+	}
+
+	var ln *simnet.Listener
+	ln, err = net.Listen(l, "pep", func(c *simnet.Conn) {
+		c.OnData(func(msg []byte) { handle(c, string(msg)) })
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	// Test case: two proxied requests a hair apart. The verdict must reach
+	// both clients; if one hangs, the race manifested.
+	replies := 0
+	var conns []*simnet.Conn
+	sendReq := func(name string) {
+		net.Dial(l, "pep", func(conn *simnet.Conn, err error) {
+			if err != nil {
+				if out.Note == "" {
+					out.Note = "setup: " + err.Error()
+				}
+				return
+			}
+			conns = append(conns, conn)
+			conn.OnData(func([]byte) { replies++ })
+			_ = conn.Send([]byte(name))
+		})
+	}
+
+	kvstore.NewClient(l, net, "db", 1, func(c *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		kv = c
+		sendReq("req-one")
+		l.SetTimeout(13*time.Millisecond, func() { sendReq("req-two") })
+		WaitUntil(l, 15*time.Millisecond, 8*time.Millisecond, 10,
+			func() bool { return replies == 2 },
+			func(ok bool) {
+				if !ok {
+					out.Manifested = true
+					out.Note = "request hangs: a client never received its reply"
+				}
+				for _, conn := range conns {
+					conn.Close()
+				}
+				kv.Close()
+				db.Close()
+				ln.Close(nil)
+			})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 50*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

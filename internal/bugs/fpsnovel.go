@@ -1,0 +1,146 @@
+package bugs
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// fpsNovelApp models the novel fiware-pep-steelskin bug of §3.2.2 (the
+// authors' accepted PR 339): a commutative ordering violation in the test
+// case accompanying the FPS fix. The test issues several asynchronous
+// requests and binds its final assertion to the last *launched* request —
+// the same anti-pattern as Figure 4 — so when the last-launched request is
+// not the last to complete, the test's assertion runs early and "the test
+// case fails in the wrong place".
+//
+// The authors repaired it with the global-counter pattern, as in the MGS
+// fix.
+func fpsNovelApp() *App {
+	return &App{
+		Abbr: "FPS-novel", Name: "fiware-pep-steelskin", Issue: "PR 339",
+		Type: "Module", LoC: "8.2K", DlMo: "4",
+		Desc:         "Policy enforcement point proxy (test suite)",
+		RaceType:     "(C)OV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Variable",
+		Impact:       "Test case fails in wrong place.",
+		FixStrategy:  "Global counter.",
+		Novel:        true,
+		InFig6:       false, // repaired during the bug study, not evaluated in Fig. 6
+		Run:          func(cfg RunConfig) Outcome { return fpsNovelRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return fpsNovelRun(cfg, true) },
+	}
+}
+
+func fpsNovelRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "db")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// The final request's policy is the most expensive lookup, so it
+	// normally completes last and the anti-pattern happens to pass.
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpGet && len(args) > 0 && args[0] == "policy:req3" {
+			return 7 * time.Millisecond
+		}
+		return 3 * time.Millisecond
+	})
+
+	// The (already fixed) proxy from the FPS bug: validate, then reply.
+	var kv *kvstore.Client
+	ln, err := net.Listen(l, "pep", func(c *simnet.Conn) {
+		c.OnData(func(msg []byte) {
+			name := string(msg)
+			kv.Get("policy:"+name, func(string, bool, error) {
+				_ = c.Send([]byte("allow:" + name))
+			})
+		})
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	kvstore.NewClient(l, net, "db", 2, func(c *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		kv = c
+
+		// --- the test case ---
+		const n = 4
+		responses := 0
+		asserted := false
+		var conns []*simnet.Conn
+		cleanup := func() {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			conns = nil
+			kv.Close()
+			db.Close()
+			ln.Close(nil)
+		}
+		assertAllDone := func() {
+			if asserted {
+				return
+			}
+			asserted = true
+			if responses < n {
+				out.Manifested = true
+				out.Note = fmt.Sprintf(
+					"test asserted completion with %d/%d responses — fails in wrong place",
+					responses, n)
+			}
+		}
+		remaining := n // the PR's counter
+		for i := 0; i < n; i++ {
+			i := i
+			isLast := i == n-1
+			net.Dial(l, "pep", func(conn *simnet.Conn, err error) {
+				if err != nil {
+					if out.Note == "" {
+						out.Note = "setup: " + err.Error()
+					}
+					return
+				}
+				conns = append(conns, conn)
+				conn.OnData(func([]byte) {
+					responses++
+					if fixed {
+						remaining--
+						if remaining == 0 {
+							assertAllDone()
+						}
+					} else if isLast {
+						// BUG: assertion bound to the last *launched*
+						// request.
+						assertAllDone()
+					}
+				})
+				_ = conn.Send([]byte(fmt.Sprintf("req%d", i)))
+			})
+		}
+		WaitUntil(l, 20*time.Millisecond, 8*time.Millisecond, 10,
+			func() bool { return asserted && responses >= n },
+			func(bool) { cleanup() })
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 40*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

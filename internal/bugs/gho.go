@@ -1,0 +1,164 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/kvstore"
+	"nodefz/internal/simnet"
+)
+
+// ghoApp models ghost bug #1834 (Table 2, row 2): an atomicity violation on
+// database state. Registering a username asynchronously checks whether the
+// name already exists and asynchronously inserts it if not; when two
+// registrations for the same name interleave, both fetches miss and an
+// extra account is created (§3.3.2).
+//
+// Following §5.1.1, the racy code is replicated in a small standalone
+// application (GHO'), because the original bug could not be triggered
+// externally. The paper's "fix" deprecated the functionality; our fixed
+// variant uses an atomic conditional insert (SETNX), which is the
+// semantically correct repair.
+func ghoApp() *App {
+	return &App{
+		Abbr: "GHO", Name: "ghost (GHO')", Issue: "1834",
+		Type: "Application", LoC: "50K", DlMo: "4.5K",
+		Desc:         "Blogging engine",
+		RaceType:     "AV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Database",
+		Impact:       "Creates too many user accounts.",
+		FixStrategy:  "Deprecate functionality.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return ghoRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return ghoRun(cfg, true) },
+	}
+}
+
+func ghoRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "db")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// The duplicate-username fetch scans the accounts table; writes are
+	// point operations.
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpExists {
+			return 5 * time.Millisecond
+		}
+		return time.Millisecond
+	})
+
+	var kv *kvstore.Client
+
+	// register is the racy check-then-insert: Exists and Set are separate
+	// asynchronous database commands with a window in between.
+	register := func(name string, done func()) {
+		if fixed {
+			// Atomic conditional insert: the check and the write are one
+			// database command, so no interleaving can duplicate the user.
+			kv.SetNX("user:"+name, "1", 0, func(acquired bool, err error) {
+				if acquired {
+					kv.Incr("user-count", func(int, error) { done() })
+					return
+				}
+				done()
+			})
+			return
+		}
+		kv.Exists("user:"+name, func(exists bool, err error) {
+			if exists {
+				done()
+				return
+			}
+			kv.Set("user:"+name, "1", func(error) {
+				kv.Incr("user-count", func(int, error) { done() })
+			})
+		})
+	}
+
+	// The blog's signup endpoint.
+	var ln *simnet.Listener
+	pendingConns := 0
+	ln, err = net.Listen(l, "blog", func(c *simnet.Conn) {
+		pendingConns++
+		c.OnData(func(msg []byte) {
+			register(string(msg), func() {
+				_ = c.Send([]byte("ok"))
+			})
+		})
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	// Test case: two clients register the same username, the second a
+	// moment after the first — far enough apart that an unperturbed
+	// schedule completes the first registration before the second begins,
+	// close enough that a fuzzed schedule overlaps them.
+	finish := func() {
+		kv.Get("user-count", func(val string, ok bool, err error) {
+			if val != "1" {
+				out.Manifested = true
+				out.Note = "created " + val + " accounts for one username"
+			}
+			kv.Close()
+			db.Close()
+			ln.Close(nil)
+		})
+	}
+	replies := 0
+	signup := func(conn *simnet.Conn) {
+		conn.OnData(func([]byte) {
+			replies++
+			conn.Close()
+			if replies == 2 {
+				finish()
+			}
+		})
+		_ = conn.Send([]byte("bob"))
+	}
+
+	kvstore.NewClient(l, net, "db", 2, func(c *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		kv = c
+		net.Dial(l, "blog", func(conn *simnet.Conn, err error) {
+			if err != nil {
+				if out.Note == "" {
+					out.Note = "setup: " + err.Error()
+				}
+				return
+			}
+			signup(conn)
+		})
+		l.SetTimeout(9*time.Millisecond, func() {
+			net.Dial(l, "blog", func(conn *simnet.Conn, err error) {
+				if err != nil {
+					if out.Note == "" {
+						out.Note = "setup: " + err.Error()
+					}
+					return
+				}
+				signup(conn)
+			})
+		})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 50*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	_ = pendingConns
+	return out
+}

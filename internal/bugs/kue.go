@@ -1,0 +1,109 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/kvstore"
+)
+
+// kueApp models kue bug #483 (Table 2, row 10 and Figure 3): an ordering
+// violation between two asynchronous status updates to the job database.
+// When a retryable job fails, markFailed calls update() — which records
+// state 'failed' — and delayed() — which records state 'delayed'. Both are
+// asynchronous and the buggy code launches them concurrently; nothing
+// orders their database writes, so the job can end up 'failed', in which
+// case the recovery scan runs it again — "job runs more than once".
+//
+// The paper's fix invokes delayed() from update()'s completion callback.
+func kueApp() *App {
+	return &App{
+		Abbr: "KUE", Name: "kue", Issue: "483",
+		Type: "Module", LoC: "6.6K", DlMo: "69K",
+		Desc:         "Priority job queue (w/ Redis)",
+		RaceType:     "OV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Database",
+		Impact:       "Job runs more than once.",
+		FixStrategy:  "Order async. calls using callbacks.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return kueRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return kueRun(cfg, true) },
+	}
+}
+
+func kueRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "redis")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// The driver uses a small connection pool, so two commands issued
+	// back-to-back can be processed by the store in either order.
+	kvstore.NewClient(l, net, "redis", 2, func(kv *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+
+		const job = "job:42"
+		pendingWrites := 2
+
+		// update records the failure (Figure 3's self.update()).
+		update := func(done func()) {
+			kv.Set(job+":state", "failed", func(error) {
+				pendingWrites--
+				if done != nil {
+					done()
+				}
+			})
+		}
+		// delayed schedules the retry: it records state 'delayed' and
+		// registers the job on the delay queue.
+		delayed := func() {
+			kv.Set(job+":state", "delayed", func(error) {
+				pendingWrites--
+			})
+			kv.Set("delayq:"+job, "1", nil)
+		}
+
+		// markFailed for a retryable job (Figure 3).
+		markFailed := func() {
+			if fixed {
+				update(delayed) // patched: delayed only after update completed
+				return
+			}
+			update(nil)
+			delayed() // BUG: concurrent with update's write
+		}
+
+		markFailed()
+
+		WaitUntil(l, 10*time.Millisecond, 8*time.Millisecond, 10,
+			func() bool { return pendingWrites == 0 },
+			func(bool) {
+				kv.Get(job+":state", func(state string, ok bool, err error) {
+					if state != "delayed" {
+						out.Manifested = true
+						out.Note = "job left in state '" + state +
+							"'; the recovery scan would run it again"
+					}
+					kv.Close()
+					db.Close()
+				})
+			})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 40*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

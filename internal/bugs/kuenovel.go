@@ -1,0 +1,130 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/kvstore"
+)
+
+// kueNovelApp models the novel kue bug of §5.2.2 (issue 967): a test case
+// fails regularly because a Redis lock cannot be acquired promptly. The
+// paper could not identify the root cause; the shape reproduced here is the
+// plausible one its description suggests — a prior test's lock release is
+// issued at the tail of an asynchronous chain, and when teardown closes the
+// Redis client before the release command is issued, the lock stays taken
+// and the next test's acquisition times out.
+//
+// As the paper reports the fix as unknown, the "fixed" variant models the
+// hygienic test: teardown waits for the release to complete.
+func kueNovelApp() *App {
+	return &App{
+		Abbr: "KUE-novel", Name: "kue", Issue: "967",
+		Type: "Module", LoC: "6.6K", DlMo: "69K",
+		Desc:         "Priority job queue (test suite)",
+		RaceType:     "AV",
+		RacingEvents: "Unknown",
+		RaceOn:       "Unknown",
+		Impact:       "Tests fail because lock is taken.",
+		FixStrategy:  "Unknown.",
+		Novel:        true,
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return kueNovelRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return kueNovelRun(cfg, true) },
+	}
+}
+
+func kueNovelRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "redis")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	const lockKey = "q:lock:jobs"
+
+	// --- test 2: acquire the lock, with retries, then clean up ---
+	test2 := func() {
+		kvstore.NewClient(l, net, "redis", 1, func(kv *kvstore.Client, err error) {
+			if err != nil {
+				if out.Note == "" {
+					out.Note = "setup: " + err.Error()
+				}
+				return
+			}
+			attempts := 0
+			var try func()
+			try = func() {
+				attempts++
+				kv.SetNX(lockKey, "worker-2", 0, func(acquired bool, err error) {
+					if acquired {
+						kv.Del(lockKey, func(error) {
+							kv.Close()
+							db.Close()
+						})
+						return
+					}
+					if attempts >= 4 {
+						out.Manifested = true
+						out.Note = "test fails: lock still taken after 4 attempts"
+						kv.Close()
+						db.Close()
+						return
+					}
+					l.SetTimeout(8*time.Millisecond, try)
+				})
+			}
+			try()
+		})
+	}
+
+	// --- test 1: process one job under the lock ---
+	kvstore.NewClient(l, net, "redis", 1, func(kv *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		kv.SetNX(lockKey, "worker-1", 0, func(acquired bool, err error) {
+			if !acquired {
+				out.Note = "setup: initial lock not acquired"
+				return
+			}
+			// Process the job: record completion, then release the lock at
+			// the tail of the chain.
+			released := false
+			kv.Set("job:7:state", "complete", func(error) {
+				kv.Del(lockKey, func(error) { released = true })
+			})
+			if fixed {
+				// Hygienic teardown: wait for the release before closing.
+				WaitUntil(l, 5*time.Millisecond, 5*time.Millisecond, 20,
+					func() bool { return released },
+					func(bool) {
+						kv.Close()
+						test2()
+					})
+				return
+			}
+			// BUG: the test declares itself done on a short grace timer and
+			// closes its Redis client; if the release has not been issued
+			// by then, the lock stays taken.
+			l.SetTimeoutNamed("teardown", 8*time.Millisecond, func() {
+				kv.Close()
+				test2()
+			})
+		})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 50*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package bugs
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/asyncutil"
+	"nodefz/internal/kvstore"
+)
+
+// mgsApp models mongoose bug #2992 (Table 2, row 12 and Figure 4): a
+// commutative ordering violation. populate() launches N asynchronous find
+// requests and binds "am I the last?" to the last *launched* one; the
+// promise is resolved when that request completes, which may happen while
+// other finds are still outstanding — the caller observes a partially
+// populated document.
+//
+// The paper's fix is the remaining-counter (Figure 4's `--remaining === 0`),
+// modelled with asyncutil.Gate.
+func mgsApp() *App {
+	return &App{
+		Abbr: "MGS", Name: "mongoose", Issue: "2992",
+		Type: "Module", LoC: "88K", DlMo: "969K",
+		Desc:         "MongoDB-based object modeling",
+		RaceType:     "(C)OV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Database",
+		Impact:       "Incorrect response.",
+		FixStrategy:  "Global counter.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return mgsRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return mgsRun(cfg, true) },
+	}
+}
+
+func mgsRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	db, err := kvstore.NewServer(l, net, "mongo")
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	// Queries have different costs: the final reference scans the largest
+	// collection. Unperturbed, the expensive last find therefore completes
+	// last with a wide margin and the anti-pattern happens to work; a
+	// fuzzed schedule can hold the cheap replies back past it.
+	db.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == kvstore.OpHGet && len(args) > 1 && args[1] == "ref3" {
+			return 6 * time.Millisecond
+		}
+		return 3 * time.Millisecond
+	})
+
+	kvstore.NewClient(l, net, "mongo", 2, func(kv *kvstore.Client, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		const n = 4
+		var seed func(i int, next func())
+		seed = func(i int, next func()) {
+			kv.HSet("doc", fmt.Sprintf("ref%d", i), fmt.Sprintf("value%d", i), func(error) {
+				if i+1 < n {
+					seed(i+1, next)
+					return
+				}
+				next()
+			})
+		}
+
+		populated := make(map[string]string)
+		resolved := false
+		resolvedWith := 0
+		resolve := func() {
+			if resolved {
+				return
+			}
+			resolved = true
+			resolvedWith = len(populated)
+		}
+
+		populate := func() {
+			gate := asyncutil.NewGate(n) // the patch's `remaining`
+			for i := 0; i < n; i++ {
+				field := fmt.Sprintf("ref%d", i)
+				isLast := i == n-1
+				kv.HGet("doc", field, func(val string, ok bool, err error) {
+					populated[field] = val
+					if fixed {
+						if gate.Done() {
+							resolve()
+						}
+					} else if isLast {
+						// BUG (Figure 4): resolution bound to the last
+						// *launched* find.
+						resolve()
+					}
+				})
+			}
+		}
+
+		seed(0, func() {
+			populate()
+			WaitUntil(l, 15*time.Millisecond, 8*time.Millisecond, 10,
+				func() bool { return resolved },
+				func(bool) {
+					if resolved && resolvedWith < n {
+						out.Manifested = true
+						out.Note = fmt.Sprintf(
+							"promise resolved with %d/%d references populated",
+							resolvedWith, n)
+					}
+					kv.Close()
+					db.Close()
+				})
+		})
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 40*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/simnet"
+)
+
+// nesApp models nes bug #18 (Table 2, row 5): an atomicity violation
+// between a network callback and a timer callback on a shared variable. The
+// WebSocket wrapper's idle-timeout timer nulls the underlying socket
+// reference and closes it; a message handler dispatched around the same
+// time dereferences that reference to reply — null dereference, server
+// crash.
+//
+// The paper's fix checks for null before use.
+func nesApp() *App {
+	return &App{
+		Abbr: "NES", Name: "nes", Issue: "18",
+		Type: "Module", LoC: "6.1K", DlMo: "6.8K",
+		Desc:         "Native WebSockets for Hapi",
+		RaceType:     "AV",
+		RacingEvents: "NW-Timer",
+		RaceOn:       "Variable",
+		Impact:       "Crash (null dereference).",
+		FixStrategy:  "Check not null before use.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return nesRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return nesRun(cfg, true) },
+	}
+}
+
+type nesSocket struct {
+	ws *simnet.Conn // nulled by the idle-timeout timer — the racy variable
+}
+
+func nesRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+	const idleTimeout = 20 * time.Millisecond
+
+	ln, err := net.Listen(l, "ws", func(c *simnet.Conn) {
+		sock := &nesSocket{ws: c}
+		// Idle timeout: drop the socket reference now, tear the transport
+		// down a step later — the cooperative two-step teardown (§2.3) that
+		// leaves a window in which a queued message still dispatches
+		// against the nulled reference.
+		l.SetTimeoutNamed("idle-timeout", idleTimeout, func() {
+			sock.ws = nil
+			l.SetImmediate(func() { c.Close() })
+		})
+		c.OnData(func(msg []byte) {
+			if sock.ws == nil {
+				if fixed {
+					// Patched: check not null before use; the late message
+					// is dropped.
+					return
+				}
+				out.Manifested = true
+				out.Note = "crash: null dereference of socket in message handler"
+				return
+			}
+			_ = sock.ws.Send(append([]byte("pong:"), msg...))
+		})
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	// Test case: the client pings close to the idle deadline. Unperturbed,
+	// the pings are handled just before the timeout; fuzzed, a deferred
+	// read event slips past the timer.
+	net.Dial(l, "ws", func(conn *simnet.Conn, err error) {
+		if err != nil {
+			if out.Note == "" {
+				out.Note = "setup: " + err.Error()
+			}
+			return
+		}
+		conn.OnClose(func() { ln.Close(nil) })
+		for _, at := range []time.Duration{
+			idleTimeout - 6*time.Millisecond,
+			idleTimeout - 5*time.Millisecond,
+			idleTimeout - 4*time.Millisecond,
+		} {
+			l.SetTimeout(at, func() { _ = conn.Send([]byte("ping")) })
+		}
+	})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 50*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package bugs
+
+// init populates the corpus in Table 2 order: the twelve studied bugs,
+// then the novel bugs (§5.2), then the §5.2.3 race against time.
+func init() {
+	registry = []*App{
+		eplApp(),
+		ghoApp(),
+		fpsApp(),
+		clfApp(),
+		nesApp(),
+		akaApp(),
+		wptApp(),
+		sioApp(),
+		mkdApp(),
+		kueApp(),
+		rstApp(),
+		mgsApp(),
+		sioNovelApp(),
+		kueNovelApp(),
+		fpsNovelApp(),
+		kueTimeApp(),
+	}
+}

@@ -1,0 +1,112 @@
+package bugs
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/asyncutil"
+	"nodefz/internal/simfs"
+)
+
+// rstApp models restify bug #847 (Table 2, row 11): a commutative ordering
+// violation between file-system completions and the final response step. A
+// handler launches a series of asynchronous reads that fill a shared
+// buffer, but returns the response when the *last launched* read completes
+// — the isLast-bind anti-pattern of §3.2.2 — so a response composed while
+// earlier reads are still outstanding is missing data.
+//
+// The initial upstream fix reused the same anti-pattern; the complete fix —
+// modelled here — uses an asynchronous barrier.
+func rstApp() *App {
+	return &App{
+		Abbr: "RST", Name: "restify", Issue: "847",
+		Type: "Module", LoC: "5.5K", DlMo: "232K",
+		Desc:         "Tool for RESTful APIs",
+		RaceType:     "(C)OV",
+		RacingEvents: "FS-X",
+		RaceOn:       "Array",
+		Impact:       "Incorrect response (missing data).",
+		FixStrategy:  "Use an \"async barrier\".",
+		// §5.1.1: RST manifests frequently even using vanilla Node, so the
+		// paper evaluated KUE instead.
+		InFig6:   false,
+		Run:      func(cfg RunConfig) Outcome { return rstRun(cfg, false) },
+		RunFixed: func(cfg RunConfig) Outcome { return rstRun(cfg, true) },
+	}
+}
+
+func rstRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+	fs := simfs.New()
+	const chunks = 4
+	const chunkSize = 64
+
+	body := make([]byte, 0, chunks*chunkSize)
+	for i := 0; i < chunks; i++ {
+		for j := 0; j < chunkSize; j++ {
+			body = append(body, byte('a'+i))
+		}
+	}
+	if err := fs.Mkdir("/static"); err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	if err := fs.WriteFile("/static/page", body); err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+	fsa := simfs.Bind(l, fs, FSLatency, cfg.Seed)
+
+	// The handler: read the file in chunks into a shared buffer, reply when
+	// "done".
+	var response []byte
+	responded := false
+	parts := make([][]byte, chunks)
+	respond := func() {
+		if responded {
+			return
+		}
+		responded = true
+		response = nil
+		for _, p := range parts {
+			response = append(response, p...)
+		}
+	}
+
+	barrier := asyncutil.NewBarrier(chunks, respond)
+	for i := 0; i < chunks; i++ {
+		i := i
+		isLast := i == chunks-1
+		fsa.ReadAt("/static/page", i*chunkSize, chunkSize, func(data []byte, err error) {
+			parts[i] = data
+			if fixed {
+				barrier.Arrive()
+			} else if isLast {
+				// BUG: the last *launched* read may not be the last
+				// *completed* read.
+				respond()
+			}
+		})
+	}
+
+	WaitUntil(l, 10*time.Millisecond, 8*time.Millisecond, 10,
+		func() bool { return responded },
+		func(bool) {})
+
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+
+	if !responded {
+		return Outcome{Manifested: true, Note: "handler never responded"}
+	}
+	if len(response) != len(body) {
+		return Outcome{
+			Manifested: true,
+			Note: fmt.Sprintf("response missing data: %d/%d bytes",
+				len(response), len(body)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package bugs
+
+import (
+	"time"
+
+	"nodefz/internal/simnet"
+)
+
+// sioApp models socket.io bug #1862 (Table 2, row 8 and Figure 2): an
+// atomicity violation between two network callback chains on the connection
+// manager's sockets array. A socket is only appended to manager.sockets in
+// its 'connect' callback; destroy() removes a socket and closes the whole
+// manager when the array is empty. When a fast connection connects and
+// disconnects before a slow connection's 'connect' callback runs, destroy
+// finds an empty array, closes the manager, and the slow connection fails
+// — its request hangs.
+//
+// The paper's fix moves the append out of the 'connect' callback into the
+// initial (synchronous) callback, so the slow connection is visible to
+// destroy from the moment it is requested.
+func sioApp() *App {
+	return &App{
+		Abbr: "SIO", Name: "socket.io-client", Issue: "1862",
+		Type: "Module", LoC: "4.6K", DlMo: "4.9M",
+		Desc:         "Real-time server framework",
+		RaceType:     "AV",
+		RacingEvents: "NW-NW",
+		RaceOn:       "Array",
+		Impact:       "Request hangs.",
+		FixStrategy:  "Rd/wr in same callback.",
+		InFig6:       true,
+		Run:          func(cfg RunConfig) Outcome { return sioRun(cfg, false) },
+		RunFixed:     func(cfg RunConfig) Outcome { return sioRun(cfg, true) },
+	}
+}
+
+type sioSocket struct {
+	path      string
+	conn      *simnet.Conn
+	connected bool
+	onMessage func(string)
+}
+
+type sioManager struct {
+	sockets []*sioSocket
+	closed  bool
+}
+
+func (m *sioManager) remove(s *sioSocket) {
+	for i, e := range m.sockets {
+		if e == s {
+			m.sockets = append(m.sockets[:i:i], m.sockets[i+1:]...)
+			return
+		}
+	}
+}
+
+func sioRun(cfg RunConfig, fixed bool) Outcome {
+	l := cfg.NewLoop()
+	net := cfg.NewNet()
+	defer net.Close()
+	Watchdog(l, 3*time.Second)
+
+	var out Outcome
+
+	// The socket.io server: a handshake before a socket is considered
+	// connected, as in the real protocol. The slow path's handshake does
+	// real validation work (scheduled on the loop) before the welcome —
+	// that asynchronous step is what makes the connection "take a long
+	// time" (Figure 2's scenario).
+	ln, err := net.Listen(l, "sio", func(c *simnet.Conn) {
+		c.OnData(func(msg []byte) {
+			switch string(msg) {
+			case "auth-slow":
+				l.SetTimeoutNamed("handshake-work", 2*time.Millisecond, func() {
+					_ = c.Send([]byte("welcome"))
+				})
+			case "auth-fast":
+				_ = c.Send([]byte("welcome"))
+			case "ping":
+				_ = c.Send([]byte("pong"))
+			}
+		})
+	})
+	if err != nil {
+		return Outcome{Note: "setup: " + err.Error()}
+	}
+
+	m := &sioManager{}
+
+	// socket opens a connection to one path of the server. onReady runs
+	// when the socket is fully connected and registered.
+	socket := func(path string, onReady func(*sioSocket)) *sioSocket {
+		s := &sioSocket{path: path}
+		if fixed {
+			// Patched (Figure 2): register in the initial callback, not in
+			// the 'connect' callback.
+			m.sockets = append(m.sockets, s)
+		}
+		net.Dial(l, "sio", func(conn *simnet.Conn, err error) {
+			if err != nil {
+				if out.Note == "" {
+					out.Note = "setup: " + err.Error()
+				}
+				return
+			}
+			s.conn = conn
+			conn.OnData(func(msg []byte) {
+				if s.connected {
+					if s.onMessage != nil {
+						s.onMessage(string(msg))
+					}
+					return
+				}
+				if string(msg) != "welcome" {
+					return
+				}
+				// The 'connect' event of Figure 2 (lines 8-11).
+				s.connected = true
+				if m.closed {
+					// The manager was destroyed while we were connecting:
+					// this request will never be serviced.
+					out.Manifested = true
+					out.Note = "request hangs: manager closed before slow connection registered"
+					conn.Close()
+					return
+				}
+				if !fixed {
+					m.sockets = append(m.sockets, s)
+				}
+				onReady(s)
+			})
+			_ = conn.Send([]byte("auth" + path))
+		})
+		return s
+	}
+
+	// destroy is Figure 2 lines 15-20.
+	destroy := func(s *sioSocket) {
+		m.remove(s)
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		if len(m.sockets) == 0 {
+			m.closed = true
+		}
+	}
+
+	// Test case: a client opens two paths of the same server. The fast
+	// path's socket does a couple of quick request/responses and
+	// disconnects; the slow path is normally registered well before that —
+	// unless its 'connect' callback is held back past the disconnect.
+	slowDone := false
+	socket("-slow", func(s *sioSocket) { slowDone = true })
+	socket("-fast", func(s *sioSocket) {
+		pongs := 0
+		s.onMessage = func(msg string) {
+			if msg != "pong" {
+				return
+			}
+			pongs++
+			// Work done; disconnect on the next turn of the loop.
+			l.SetImmediate(func() { destroy(s) })
+		}
+		_ = s.conn.Send([]byte("ping"))
+	})
+
+	WaitUntil(l, 25*time.Millisecond, 8*time.Millisecond, 10,
+		func() bool { return slowDone || out.Manifested },
+		func(bool) {
+			for _, s := range m.sockets {
+				if s.conn != nil {
+					s.conn.Close()
+				}
+			}
+			m.sockets = nil
+			ln.Close(nil)
+		})
+
+	AddTimerNoise(l, 1500*time.Microsecond, 50*time.Millisecond)
+	if err := l.Run(); err != nil {
+		return Outcome{Note: "run: " + err.Error()}
+	}
+	return out
+}

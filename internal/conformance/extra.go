@@ -1,0 +1,139 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/dnssim"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/sigsim"
+	"nodefz/internal/simfs"
+	"nodefz/internal/streams"
+)
+
+// extraSuite covers the extended substrates; appended to Suite.
+func extraSuite() []Scenario {
+	return []Scenario{
+		{"stream-pipe-order", streamPipeOrder},
+		{"signal-coalescing", signalCoalescing},
+		{"dns-lookup-and-cache", dnsLookupAndCache},
+		{"fs-watch-order", fsWatchOrder},
+	}
+}
+
+func streamPipeOrder(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	fs := simfs.New()
+	if err := fs.Create("/out"); err != nil {
+		return err
+	}
+	fsa := simfs.Bind(l, fs, 300*time.Microsecond, seed)
+	r := streams.NewReadable(l, 16)
+	w := streams.NewWritable(l, 16, func(chunk []byte, done func(error)) {
+		fsa.Append("/out", chunk, done)
+	})
+	var pipeErr error
+	streams.Pipe(r, w, func(err error) { pipeErr = err })
+	go func() {
+		for i := 0; i < 8; i++ {
+			r.Push([]byte(fmt.Sprintf("|%d", i)))
+			time.Sleep(400 * time.Microsecond)
+		}
+		r.End()
+	}()
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if pipeErr != nil {
+		return pipeErr
+	}
+	got, err := fs.ReadFile("/out")
+	if err != nil {
+		return err
+	}
+	want := "|0|1|2|3|4|5|6|7"
+	if string(got) != want {
+		return fmt.Errorf("piped %q, want %q", got, want)
+	}
+	return nil
+}
+
+func signalCoalescing(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	p := sigsim.NewProcess(l)
+	handled := 0
+	p.On(sigsim.SIGHUP, func(sigsim.Signal) { handled++ })
+	p.On(sigsim.SIGTERM, func(sigsim.Signal) { p.Close(nil) })
+	l.SetTimeout(time.Millisecond, func() {
+		p.Kill(sigsim.SIGHUP)
+		p.Kill(sigsim.SIGHUP) // pending: must coalesce
+		l.SetTimeout(5*time.Millisecond, func() { p.Kill(sigsim.SIGTERM) })
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if handled != 1 {
+		return fmt.Errorf("pending SIGHUP delivered %d times, want 1", handled)
+	}
+	return nil
+}
+
+func dnsLookupAndCache(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	r := dnssim.New(l, dnssim.Config{Seed: seed, Latency: time.Millisecond, TTL: time.Second})
+	r.Register("svc", "10.0.0.7")
+	okFirst, okSecond := false, false
+	r.Lookup("svc", func(addrs []string, err error) {
+		okFirst = err == nil && len(addrs) == 1 && addrs[0] == "10.0.0.7"
+		r.Lookup("svc", func(addrs []string, err error) {
+			okSecond = err == nil && len(addrs) == 1
+		})
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if !okFirst || !okSecond {
+		return fmt.Errorf("lookups failed: first=%v second=%v", okFirst, okSecond)
+	}
+	if r.Lookups() != 1 {
+		return fmt.Errorf("cache miss count = %d, want 1 (second lookup cached)", r.Lookups())
+	}
+	return nil
+}
+
+func fsWatchOrder(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	fs := simfs.New()
+	var ops []simfs.WatchOp
+	var w *simfs.Watcher
+	w = fs.Watch(l, "/", func(ev simfs.WatchEvent) {
+		ops = append(ops, ev.Op)
+		if ev.Op == simfs.WatchRemove {
+			w.Close()
+		}
+	})
+	l.SetTimeout(time.Millisecond, func() {
+		if err := fs.Mkdir("/d"); err != nil {
+			return
+		}
+		if err := fs.Create("/d/f"); err != nil {
+			return
+		}
+		if err := fs.Unlink("/d/f"); err != nil {
+			return
+		}
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	want := []simfs.WatchOp{simfs.WatchMkdir, simfs.WatchCreate, simfs.WatchRemove}
+	if len(ops) != len(want) {
+		return fmt.Errorf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			return fmt.Errorf("watch events reordered: %v", ops)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+// Scheduler is the Node.fz fuzzing scheduler. It implements
+// eventloop.Scheduler (and, structurally, pool.Picker), making every
+// decision from its Params and a seeded random generator.
+//
+// Architectural behaviour, independent of the probabilities (§4.3.3):
+//
+//   - callbacks are serialized: no worker-pool task overlaps a loop
+//     callback, and the effective pool size is 1;
+//   - the worker pool's done queue is de-multiplexed: each completed task
+//     is delivered as its own pollable event, so the scheduler has complete
+//     control over the order of done callbacks relative to each other and
+//     to other callbacks.
+//
+// Scheduler is safe for the concurrent use the event loop subjects it to
+// (loop-goroutine hooks plus worker-goroutine hooks).
+type Scheduler struct {
+	params Params
+	name   string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ eventloop.Scheduler = (*Scheduler)(nil)
+
+// NewScheduler builds a fuzzing scheduler with the given parameters and
+// seed. The same (program, params, seed) triple replays the same decisions.
+func NewScheduler(params Params, seed int64) *Scheduler {
+	return newNamed("nodeFZ", params, seed)
+}
+
+// NewNoFuzzScheduler builds the nodeNFZ configuration: the Node.fz
+// architecture (serialization, de-multiplexing, pool size 1) with all
+// fuzzing probabilities zero. §5.1 uses it to separate the effect of the
+// architectural changes from the fuzzing itself.
+func NewNoFuzzScheduler() *Scheduler {
+	return newNamed("nodeNFZ", NoFuzzParams(), 0)
+}
+
+// NewGuidedScheduler builds the §5.2.3 guided parameterization.
+func NewGuidedScheduler(seed int64) *Scheduler {
+	return newNamed("nodeFZ(guided)", GuidedTimerParams(), seed)
+}
+
+func newNamed(name string, params Params, seed int64) *Scheduler {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Scheduler{
+		params: params,
+		name:   name,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Params returns the scheduler's parameterization.
+func (s *Scheduler) Params() Params { return s.params }
+
+// Name implements eventloop.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Serialize implements eventloop.Scheduler: Node.fz serializes callback
+// executions between the event loop and the worker pool so it can be
+// completely certain about their relative order (§4.3.3, relied on in
+// §5.3's schedule reconstruction).
+func (s *Scheduler) Serialize() bool { return true }
+
+// DemuxDone implements eventloop.Scheduler.
+func (s *Scheduler) DemuxDone() bool { return true }
+
+// PoolSize implements eventloop.Scheduler: one real worker; multiple
+// workers are simulated by the task-queue lookahead.
+func (s *Scheduler) PoolSize(int) int { return 1 }
+
+// chance reports true with probability pct/100.
+func (s *Scheduler) chance(pct int) bool {
+	if pct <= 0 {
+		return false
+	}
+	if pct >= 100 {
+		return true
+	}
+	s.mu.Lock()
+	v := s.rng.Intn(100)
+	s.mu.Unlock()
+	return v < pct
+}
+
+// FilterTimers implements eventloop.Scheduler. Expired timers are executed
+// in order according to the timer deferral percentage until one of them is
+// deferred; processing then short-circuits until the next iteration,
+// preserving the {timeout, registration time} ordering, and the configured
+// delay is injected (§4.3.4).
+func (s *Scheduler) FilterTimers(due int) (int, time.Duration) {
+	for i := 0; i < due; i++ {
+		if s.chance(s.params.TimerDeferralPct) {
+			return i, s.params.TimerDeferralDelay
+		}
+	}
+	return due, 0
+}
+
+// ShuffleReady implements eventloop.Scheduler. The ready list is shuffled
+// with a sliding window of width EpollDoF+1 (unlimited DoF degenerates to a
+// uniform shuffle), so no descriptor is pulled forward by more than the
+// shuffle distance; each event is then deferred to the next iteration with
+// probability EpollDeferralPct.
+func (s *Scheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eventloop.Event) {
+	n := len(ready)
+	if n == 0 {
+		return nil, nil
+	}
+	shuffled := make([]*eventloop.Event, 0, n)
+	remaining := make([]*eventloop.Event, n)
+	copy(remaining, ready)
+
+	s.mu.Lock()
+	if s.params.EpollDoF != 0 {
+		for len(remaining) > 0 {
+			w := len(remaining)
+			if s.params.EpollDoF > 0 && s.params.EpollDoF+1 < w {
+				w = s.params.EpollDoF + 1
+			}
+			i := s.rng.Intn(w)
+			shuffled = append(shuffled, remaining[i])
+			remaining = append(remaining[:i], remaining[i+1:]...)
+		}
+	} else {
+		shuffled = remaining
+	}
+	pct := s.params.EpollDeferralPct
+	for _, ev := range shuffled {
+		deferThis := false
+		if pct > 0 && (pct >= 100 || s.rng.Intn(100) < pct) {
+			deferThis = true
+		}
+		if deferThis {
+			deferred = append(deferred, ev)
+		} else {
+			run = append(run, ev)
+		}
+	}
+	s.mu.Unlock()
+	return run, deferred
+}
+
+// DeferClose implements eventloop.Scheduler.
+func (s *Scheduler) DeferClose(string) bool {
+	return s.chance(s.params.CloseDeferralPct)
+}
+
+// PickTask implements eventloop.Scheduler: the lone worker executes a task
+// chosen uniformly among the first WorkerDoF queued tasks, simulating
+// multiple workers (§4.3.3).
+func (s *Scheduler) PickTask(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	s.mu.Lock()
+	i := s.rng.Intn(n)
+	s.mu.Unlock()
+	return i
+}
+
+// WaitPolicy implements eventloop.Scheduler.
+func (s *Scheduler) WaitPolicy() (int, time.Duration, time.Duration) {
+	return s.params.WorkerDoF, s.params.WorkerMaxDelay, s.params.WorkerEpollThreshold
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+// Trace is a recording of every decision a scheduler made during a run,
+// one FIFO stream per hook. Traces serve the record-and-replay direction
+// §6 discusses: once a fuzzed run manifests a bug, its decision trace can
+// drive a ReplayScheduler to steer a new run toward the same schedule.
+//
+// Replay is best-effort, not bit-exact: hooks are invoked in response to
+// real timing, so a replayed run may consume the streams at slightly
+// different points. Each stream entry carries the hook's input size; on
+// mismatch (or stream exhaustion) the replayer falls back to its base
+// scheduler. In practice this biases the run strongly toward the recorded
+// schedule — which is the useful property for debugging.
+type Trace struct {
+	Timers  []TimerDecision   `json:"timers"`
+	Shuffle []ShuffleDecision `json:"shuffle"`
+	Close   []bool            `json:"close"`
+	Pick    []PickDecision    `json:"pick"`
+}
+
+// TimerDecision records one FilterTimers call.
+type TimerDecision struct {
+	Due   int           `json:"due"`
+	Run   int           `json:"run"`
+	Delay time.Duration `json:"delay"`
+}
+
+// ShuffleDecision records one ShuffleReady call: the run order (indices
+// into the ready list) and which indices were deferred.
+type ShuffleDecision struct {
+	N        int   `json:"n"`
+	RunOrder []int `json:"run"`
+	Deferred []int `json:"deferred"`
+}
+
+// PickDecision records one PickTask call.
+type PickDecision struct {
+	N int `json:"n"`
+	I int `json:"i"`
+}
+
+// Encode writes the trace as JSON.
+func (t *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeTrace reads a JSON trace.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// RecordingScheduler wraps another scheduler and records every decision it
+// makes.
+type RecordingScheduler struct {
+	inner eventloop.Scheduler
+
+	mu    sync.Mutex
+	trace Trace
+}
+
+var _ eventloop.Scheduler = (*RecordingScheduler)(nil)
+
+// NewRecording wraps inner.
+func NewRecording(inner eventloop.Scheduler) *RecordingScheduler {
+	return &RecordingScheduler{inner: inner}
+}
+
+// Trace returns a copy of the decisions recorded so far.
+func (r *RecordingScheduler) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := Trace{
+		Timers:  append([]TimerDecision(nil), r.trace.Timers...),
+		Shuffle: append([]ShuffleDecision(nil), r.trace.Shuffle...),
+		Close:   append([]bool(nil), r.trace.Close...),
+		Pick:    append([]PickDecision(nil), r.trace.Pick...),
+	}
+	return &cp
+}
+
+// Name implements eventloop.Scheduler.
+func (r *RecordingScheduler) Name() string { return r.inner.Name() + "(recorded)" }
+
+// Serialize implements eventloop.Scheduler.
+func (r *RecordingScheduler) Serialize() bool { return r.inner.Serialize() }
+
+// DemuxDone implements eventloop.Scheduler.
+func (r *RecordingScheduler) DemuxDone() bool { return r.inner.DemuxDone() }
+
+// PoolSize implements eventloop.Scheduler.
+func (r *RecordingScheduler) PoolSize(requested int) int { return r.inner.PoolSize(requested) }
+
+// WaitPolicy implements eventloop.Scheduler.
+func (r *RecordingScheduler) WaitPolicy() (int, time.Duration, time.Duration) {
+	return r.inner.WaitPolicy()
+}
+
+// FilterTimers implements eventloop.Scheduler.
+func (r *RecordingScheduler) FilterTimers(due int) (int, time.Duration) {
+	run, delay := r.inner.FilterTimers(due)
+	r.mu.Lock()
+	r.trace.Timers = append(r.trace.Timers, TimerDecision{Due: due, Run: run, Delay: delay})
+	r.mu.Unlock()
+	return run, delay
+}
+
+// ShuffleReady implements eventloop.Scheduler.
+func (r *RecordingScheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eventloop.Event) {
+	run, deferred = r.inner.ShuffleReady(ready)
+	pos := make(map[*eventloop.Event]int, len(ready))
+	for i, e := range ready {
+		pos[e] = i
+	}
+	d := ShuffleDecision{N: len(ready)}
+	for _, e := range run {
+		d.RunOrder = append(d.RunOrder, pos[e])
+	}
+	for _, e := range deferred {
+		d.Deferred = append(d.Deferred, pos[e])
+	}
+	r.mu.Lock()
+	r.trace.Shuffle = append(r.trace.Shuffle, d)
+	r.mu.Unlock()
+	return run, deferred
+}
+
+// DeferClose implements eventloop.Scheduler.
+func (r *RecordingScheduler) DeferClose(label string) bool {
+	v := r.inner.DeferClose(label)
+	r.mu.Lock()
+	r.trace.Close = append(r.trace.Close, v)
+	r.mu.Unlock()
+	return v
+}
+
+// PickTask implements eventloop.Scheduler.
+func (r *RecordingScheduler) PickTask(n int) int {
+	i := r.inner.PickTask(n)
+	r.mu.Lock()
+	r.trace.Pick = append(r.trace.Pick, PickDecision{N: n, I: i})
+	r.mu.Unlock()
+	return i
+}
+
+// ReplayScheduler replays a Trace, falling back to a base scheduler when a
+// stream is exhausted or a decision does not fit the live hook call.
+type ReplayScheduler struct {
+	base eventloop.Scheduler
+
+	mu    sync.Mutex
+	trace *Trace
+	ti    int // next Timers index
+	si    int // next Shuffle index
+	ci    int // next Close index
+	pi    int // next Pick index
+
+	misses int
+}
+
+var _ eventloop.Scheduler = (*ReplayScheduler)(nil)
+
+// NewReplay builds a replayer over trace; base supplies architecture flags
+// and out-of-trace decisions (use the scheduler the trace was recorded
+// from, with any seed).
+func NewReplay(trace *Trace, base eventloop.Scheduler) *ReplayScheduler {
+	return &ReplayScheduler{base: base, trace: trace}
+}
+
+// Misses reports how many hook calls could not be served from the trace.
+func (r *ReplayScheduler) Misses() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.misses
+}
+
+// Name implements eventloop.Scheduler.
+func (r *ReplayScheduler) Name() string { return r.base.Name() + "(replay)" }
+
+// Serialize implements eventloop.Scheduler.
+func (r *ReplayScheduler) Serialize() bool { return r.base.Serialize() }
+
+// DemuxDone implements eventloop.Scheduler.
+func (r *ReplayScheduler) DemuxDone() bool { return r.base.DemuxDone() }
+
+// PoolSize implements eventloop.Scheduler.
+func (r *ReplayScheduler) PoolSize(requested int) int { return r.base.PoolSize(requested) }
+
+// WaitPolicy implements eventloop.Scheduler.
+func (r *ReplayScheduler) WaitPolicy() (int, time.Duration, time.Duration) {
+	return r.base.WaitPolicy()
+}
+
+// FilterTimers implements eventloop.Scheduler.
+func (r *ReplayScheduler) FilterTimers(due int) (int, time.Duration) {
+	r.mu.Lock()
+	for r.ti < len(r.trace.Timers) {
+		d := r.trace.Timers[r.ti]
+		r.ti++
+		if d.Due == due {
+			r.mu.Unlock()
+			return d.Run, d.Delay
+		}
+		// Skip a stale entry; count the miss and keep scanning so streams
+		// re-synchronize after divergence.
+		r.misses++
+	}
+	r.misses++
+	r.mu.Unlock()
+	return r.base.FilterTimers(due)
+}
+
+// ShuffleReady implements eventloop.Scheduler.
+func (r *ReplayScheduler) ShuffleReady(ready []*eventloop.Event) ([]*eventloop.Event, []*eventloop.Event) {
+	r.mu.Lock()
+	for r.si < len(r.trace.Shuffle) {
+		d := r.trace.Shuffle[r.si]
+		r.si++
+		if d.N == len(ready) {
+			r.mu.Unlock()
+			run := make([]*eventloop.Event, 0, len(d.RunOrder))
+			for _, i := range d.RunOrder {
+				run = append(run, ready[i])
+			}
+			deferred := make([]*eventloop.Event, 0, len(d.Deferred))
+			for _, i := range d.Deferred {
+				deferred = append(deferred, ready[i])
+			}
+			return run, deferred
+		}
+		r.misses++
+	}
+	r.misses++
+	r.mu.Unlock()
+	return r.base.ShuffleReady(ready)
+}
+
+// DeferClose implements eventloop.Scheduler.
+func (r *ReplayScheduler) DeferClose(label string) bool {
+	r.mu.Lock()
+	if r.ci < len(r.trace.Close) {
+		v := r.trace.Close[r.ci]
+		r.ci++
+		r.mu.Unlock()
+		return v
+	}
+	r.misses++
+	r.mu.Unlock()
+	return r.base.DeferClose(label)
+}
+
+// PickTask implements eventloop.Scheduler.
+func (r *ReplayScheduler) PickTask(n int) int {
+	r.mu.Lock()
+	for r.pi < len(r.trace.Pick) {
+		d := r.trace.Pick[r.pi]
+		r.pi++
+		if d.N == n && d.I < n {
+			r.mu.Unlock()
+			return d.I
+		}
+		r.misses++
+	}
+	r.misses++
+	r.mu.Unlock()
+	return r.base.PickTask(n)
+}

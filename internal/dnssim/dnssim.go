@@ -1,0 +1,150 @@
+// Package dnssim simulates asynchronous DNS resolution the way Node.js
+// provides it (§2.2): dns lookups are blocking C calls executed on the
+// libuv worker pool, so every resolution is a worker-pool task whose
+// completion callback competes for schedule order with all other events —
+// one more source of nondeterminism for the fuzzer to amplify.
+//
+// The resolver keeps a positive cache with TTLs; cache hits complete
+// asynchronously but without a worker-pool round trip (a NextTick), which
+// is itself schedule-relevant: a host's first lookup and its subsequent
+// cached lookups take differently-ordered paths.
+package dnssim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+// ErrNotFound is the NXDOMAIN analogue.
+var ErrNotFound = errors.New("dnssim: no such host")
+
+type cacheEntry struct {
+	addrs   []string
+	expires time.Time
+}
+
+// Resolver is an asynchronous DNS resolver bound to one loop.
+type Resolver struct {
+	loop    *eventloop.Loop
+	latency time.Duration
+	ttl     time.Duration
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	records map[string][]string
+	cache   map[string]cacheEntry
+	lookups int // worker-pool round trips performed
+}
+
+// Config parameterizes a Resolver.
+type Config struct {
+	// Seed drives the per-query latency jitter.
+	Seed int64
+	// Latency is the base upstream query time (jittered ±50%); default 2ms.
+	Latency time.Duration
+	// TTL is how long a resolved record is cached; default 30ms (scaled to
+	// this repository's millisecond world). <= 0 disables caching.
+	TTL time.Duration
+}
+
+// New builds a resolver.
+func New(l *eventloop.Loop, cfg Config) *Resolver {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 2 * time.Millisecond
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 30 * time.Millisecond
+	}
+	return &Resolver{
+		loop:    l,
+		latency: cfg.Latency,
+		ttl:     cfg.TTL,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		records: make(map[string][]string),
+		cache:   make(map[string]cacheEntry),
+	}
+}
+
+// Register installs the authoritative records for host. Later calls
+// replace earlier ones (and do not disturb cached copies — stale cache is
+// part of real DNS behaviour).
+func (r *Resolver) Register(host string, addrs ...string) {
+	r.mu.Lock()
+	r.records[host] = append([]string(nil), addrs...)
+	r.mu.Unlock()
+}
+
+// Unregister removes host's records; cached entries survive until expiry.
+func (r *Resolver) Unregister(host string) {
+	r.mu.Lock()
+	delete(r.records, host)
+	r.mu.Unlock()
+}
+
+// Lookups reports how many worker-pool (non-cached) resolutions ran.
+func (r *Resolver) Lookups() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups
+}
+
+// FlushCache drops every cached record.
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	r.cache = make(map[string]cacheEntry)
+	r.mu.Unlock()
+}
+
+func (r *Resolver) queryTime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	half := int64(r.latency / 2)
+	return r.latency/2 + time.Duration(r.rng.Int63n(2*half+1))
+}
+
+// Lookup resolves host; cb runs on the loop with a copy of the addresses
+// or ErrNotFound. Cache hits complete on the next tick; misses go through
+// the worker pool with the configured latency. Must be called from the
+// loop (or before Run).
+func (r *Resolver) Lookup(host string, cb func(addrs []string, err error)) {
+	if cb == nil {
+		cb = func([]string, error) {}
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[host]; ok && time.Now().Before(e.expires) {
+		addrs := append([]string(nil), e.addrs...)
+		r.mu.Unlock()
+		r.loop.NextTickNamed("dns-cached", func() { cb(addrs, nil) })
+		return
+	}
+	r.mu.Unlock()
+
+	d := r.queryTime()
+	r.loop.QueueWork("dns:"+host,
+		func() (any, error) {
+			time.Sleep(d)
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.lookups++
+			addrs, ok := r.records[host]
+			if !ok {
+				return nil, ErrNotFound
+			}
+			out := append([]string(nil), addrs...)
+			if r.ttl > 0 {
+				r.cache[host] = cacheEntry{addrs: out, expires: time.Now().Add(r.ttl)}
+			}
+			return out, nil
+		},
+		func(res any, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			cb(append([]string(nil), res.([]string)...), nil)
+		})
+}

@@ -1,0 +1,152 @@
+package dnssim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func TestLookupResolves(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 1, Latency: time.Millisecond})
+	r.Register("db.internal", "10.0.0.1", "10.0.0.2")
+	var got []string
+	r.Lookup("db.internal", func(addrs []string, err error) {
+		if err != nil {
+			t.Errorf("lookup: %v", err)
+			return
+		}
+		got = addrs
+	})
+	runLoop(t, l)
+	if !reflect.DeepEqual(got, []string{"10.0.0.1", "10.0.0.2"}) {
+		t.Fatalf("addrs = %v", got)
+	}
+}
+
+func TestLookupNXDOMAIN(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 2, Latency: time.Millisecond})
+	var gotErr error
+	r.Lookup("nope.example", func(_ []string, err error) { gotErr = err })
+	runLoop(t, l)
+	if !errors.Is(gotErr, ErrNotFound) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestCacheAvoidsSecondWorkerTrip(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 3, Latency: time.Millisecond, TTL: time.Second})
+	r.Register("h", "1.1.1.1")
+	second := false
+	r.Lookup("h", func([]string, error) {
+		r.Lookup("h", func(addrs []string, err error) {
+			second = err == nil && len(addrs) == 1
+		})
+	})
+	runLoop(t, l)
+	if !second {
+		t.Fatal("cached lookup failed")
+	}
+	if r.Lookups() != 1 {
+		t.Fatalf("worker lookups = %d, want 1 (second was cached)", r.Lookups())
+	}
+}
+
+func TestCacheExpires(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 4, Latency: time.Millisecond, TTL: 5 * time.Millisecond})
+	r.Register("h", "1.1.1.1")
+	r.Lookup("h", func([]string, error) {
+		l.SetTimeout(15*time.Millisecond, func() {
+			r.Lookup("h", func([]string, error) {})
+		})
+	})
+	runLoop(t, l)
+	if r.Lookups() != 2 {
+		t.Fatalf("worker lookups = %d, want 2 (TTL expired)", r.Lookups())
+	}
+}
+
+func TestStaleCacheSurvivesUnregister(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 5, Latency: time.Millisecond, TTL: time.Second})
+	r.Register("h", "1.1.1.1")
+	var second []string
+	r.Lookup("h", func([]string, error) {
+		r.Unregister("h")
+		r.Lookup("h", func(addrs []string, err error) { second = addrs })
+	})
+	runLoop(t, l)
+	if len(second) != 1 {
+		t.Fatalf("stale cached answer missing: %v", second)
+	}
+	// After flushing, the record is really gone.
+	r.FlushCache()
+	var gotErr error
+	r.Lookup("h", func(_ []string, err error) { gotErr = err })
+	runLoop(t, l)
+	if !errors.Is(gotErr, ErrNotFound) {
+		t.Fatalf("err = %v after flush+unregister", gotErr)
+	}
+}
+
+func TestCallbackGetsCopy(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := New(l, Config{Seed: 6, Latency: time.Millisecond, TTL: time.Second})
+	r.Register("h", "1.1.1.1", "2.2.2.2")
+	r.Lookup("h", func(addrs []string, err error) {
+		addrs[0] = "mutated" // must not corrupt the cache
+		r.Lookup("h", func(addrs2 []string, err error) {
+			if addrs2[0] != "1.1.1.1" {
+				t.Errorf("cache corrupted by callback mutation: %v", addrs2)
+			}
+		})
+	})
+	runLoop(t, l)
+}
+
+func TestConcurrentLookupsUnderFuzzer(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		l := eventloop.New(eventloop.Options{
+			Scheduler: core.NewScheduler(core.StandardParams(), seed),
+		})
+		r := New(l, Config{Seed: seed, Latency: time.Millisecond})
+		hosts := []string{"a", "b", "c", "d"}
+		for _, h := range hosts {
+			r.Register(h, h+".addr")
+		}
+		resolved := 0
+		for _, h := range hosts {
+			h := h
+			r.Lookup(h, func(addrs []string, err error) {
+				if err == nil && len(addrs) == 1 && addrs[0] == h+".addr" {
+					resolved++
+				}
+			})
+		}
+		runLoop(t, l)
+		if resolved != len(hosts) {
+			t.Fatalf("seed %d: resolved %d/%d", seed, resolved, len(hosts))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package emitter provides a Node.js-style EventEmitter.
+//
+// The emitter preserves the documented Node.js guarantee that Node.fz must
+// not break (paper §4.3.1): when an event is emitted, the callback
+// registered for every listener is invoked successively, synchronously, and
+// in registration order. An emit is therefore an atomic "wrapper" event from
+// the point of view of the schedule fuzzer.
+//
+// Emitters are not safe for concurrent use; in the event-driven architecture
+// they are owned by a single event loop and only touched from loop
+// callbacks, exactly like their JavaScript counterparts.
+package emitter
+
+// Listener is a callback registered for a named event. The args slice is the
+// argument list passed to Emit.
+type Listener func(args ...any)
+
+type registration struct {
+	id   uint64
+	fn   Listener
+	once bool
+}
+
+// Emitter dispatches named events to registered listeners.
+//
+// The zero value is ready to use.
+type Emitter struct {
+	nextID    uint64
+	listeners map[string][]registration
+}
+
+// New returns an empty Emitter. Equivalent to new(Emitter); provided for
+// symmetry with the rest of the runtime.
+func New() *Emitter { return &Emitter{} }
+
+// Subscription identifies a single listener registration so it can be
+// removed later.
+type Subscription struct {
+	event string
+	id    uint64
+}
+
+// On registers fn to be invoked every time event is emitted and returns a
+// Subscription that can be passed to Off.
+func (e *Emitter) On(event string, fn Listener) Subscription {
+	return e.add(event, fn, false)
+}
+
+// Once registers fn to be invoked the first time event is emitted, after
+// which the registration is removed automatically.
+func (e *Emitter) Once(event string, fn Listener) Subscription {
+	return e.add(event, fn, true)
+}
+
+func (e *Emitter) add(event string, fn Listener, once bool) Subscription {
+	if e.listeners == nil {
+		e.listeners = make(map[string][]registration)
+	}
+	e.nextID++
+	id := e.nextID
+	e.listeners[event] = append(e.listeners[event], registration{id: id, fn: fn, once: once})
+	return Subscription{event: event, id: id}
+}
+
+// Off removes the registration identified by sub. Removing a subscription
+// that was already removed (or already consumed by Once) is a no-op.
+func (e *Emitter) Off(sub Subscription) {
+	regs := e.listeners[sub.event]
+	for i, r := range regs {
+		if r.id == sub.id {
+			e.listeners[sub.event] = append(regs[:i:i], regs[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveAll removes every listener for event. With no event it clears the
+// whole emitter.
+func (e *Emitter) RemoveAll(event ...string) {
+	if len(event) == 0 {
+		e.listeners = nil
+		return
+	}
+	for _, ev := range event {
+		delete(e.listeners, ev)
+	}
+}
+
+// ListenerCount reports the number of listeners registered for event.
+func (e *Emitter) ListenerCount(event string) int { return len(e.listeners[event]) }
+
+// Emit invokes every listener registered for event, synchronously and in
+// registration order, passing args to each. It reports whether at least one
+// listener was invoked.
+//
+// Listeners registered *during* an emit do not receive the current event
+// (the listener list is snapshotted first), matching Node.js semantics.
+// Listeners removed during an emit that have not yet run are skipped.
+func (e *Emitter) Emit(event string, args ...any) bool {
+	regs := e.listeners[event]
+	if len(regs) == 0 {
+		return false
+	}
+	snapshot := make([]registration, len(regs))
+	copy(snapshot, regs)
+	for _, r := range snapshot {
+		if r.once {
+			e.Off(Subscription{event: event, id: r.id})
+		} else if !e.stillRegistered(event, r.id) {
+			continue
+		}
+		r.fn(args...)
+	}
+	return true
+}
+
+func (e *Emitter) stillRegistered(event string, id uint64) bool {
+	for _, r := range e.listeners[event] {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}

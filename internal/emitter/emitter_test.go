@@ -1,0 +1,117 @@
+package emitter
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEmitInRegistrationOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.On("ev", func(...any) { order = append(order, i) })
+	}
+	if !e.Emit("ev") {
+		t.Fatal("Emit reported no listeners")
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEmitPassesArgs(t *testing.T) {
+	e := New()
+	var got []any
+	e.On("data", func(args ...any) { got = args })
+	e.Emit("data", "payload", 7)
+	if len(got) != 2 || got[0] != "payload" || got[1] != 7 {
+		t.Fatalf("args = %v", got)
+	}
+}
+
+func TestEmitNoListeners(t *testing.T) {
+	e := New()
+	if e.Emit("nothing") {
+		t.Fatal("Emit reported listeners for unknown event")
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	e := New()
+	n := 0
+	e.Once("ev", func(...any) { n++ })
+	e.Emit("ev")
+	e.Emit("ev")
+	if n != 1 {
+		t.Fatalf("once listener ran %d times", n)
+	}
+	if e.ListenerCount("ev") != 0 {
+		t.Fatal("once listener not removed")
+	}
+}
+
+func TestOffRemovesListener(t *testing.T) {
+	e := New()
+	n := 0
+	sub := e.On("ev", func(...any) { n++ })
+	e.Off(sub)
+	e.Emit("ev")
+	if n != 0 {
+		t.Fatal("removed listener ran")
+	}
+	e.Off(sub) // double-remove is a no-op
+}
+
+func TestListenerAddedDuringEmitDoesNotReceiveCurrentEvent(t *testing.T) {
+	e := New()
+	lateRan := 0
+	e.On("ev", func(...any) {
+		e.On("ev", func(...any) { lateRan++ })
+	})
+	e.Emit("ev")
+	if lateRan != 0 {
+		t.Fatal("listener added during emit received the current event")
+	}
+	e.Emit("ev")
+	if lateRan != 1 {
+		t.Fatalf("late listener ran %d times on second emit", lateRan)
+	}
+}
+
+func TestListenerRemovedDuringEmitIsSkipped(t *testing.T) {
+	e := New()
+	var secondRan bool
+	var sub2 Subscription
+	e.On("ev", func(...any) { e.Off(sub2) })
+	sub2 = e.On("ev", func(...any) { secondRan = true })
+	e.Emit("ev")
+	if secondRan {
+		t.Fatal("listener removed during emit still ran")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	e := New()
+	e.On("a", func(...any) {})
+	e.On("a", func(...any) {})
+	e.On("b", func(...any) {})
+	e.RemoveAll("a")
+	if e.ListenerCount("a") != 0 || e.ListenerCount("b") != 1 {
+		t.Fatalf("counts after RemoveAll(a): a=%d b=%d", e.ListenerCount("a"), e.ListenerCount("b"))
+	}
+	e.RemoveAll()
+	if e.ListenerCount("b") != 0 {
+		t.Fatal("RemoveAll() left listeners")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Emitter
+	ran := false
+	e.On("x", func(...any) { ran = true })
+	e.Emit("x")
+	if !ran {
+		t.Fatal("zero-value emitter did not dispatch")
+	}
+}

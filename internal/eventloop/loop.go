@@ -1,0 +1,655 @@
+// Package eventloop implements the Asymmetric Multi-Process Event-Driven
+// (AMPED) runtime the paper targets (§2.1): a single-threaded event loop in
+// the style of libuv plus a worker pool, with hooks at every point of
+// nondeterminism so a Scheduler — in particular the Node.fz scheduler in
+// internal/core — can perturb the schedule.
+//
+// Each loop iteration examines, in turn: timers, pending callbacks,
+// idle/prepare handles, poll (I/O), timers again, check handles
+// (SetImmediate), and close callbacks — the phase order §4.1 describes.
+// Every callback runs on the single loop goroutine; a NextTick microtask
+// queue drains after each callback, before any other event, matching
+// process.nextTick.
+package eventloop
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nodefz/internal/pool"
+)
+
+// Standard callback-kind names used in type schedules. Substrates define
+// their own kinds (e.g. "net-read", "kv-reply") with the same convention.
+const (
+	KindTimer     = "timer"
+	KindImmediate = "immediate"
+	KindTick      = "tick"
+	KindPending   = "pending"
+	KindClose     = "close"
+	KindWork      = "work"      // task executing on a worker goroutine
+	KindWorkDone  = "work-done" // completion callback on the loop
+)
+
+// Options configures a Loop.
+type Options struct {
+	// Scheduler decides event ordering. Nil means VanillaScheduler: the
+	// faithful, unperturbed libuv behaviour.
+	Scheduler Scheduler
+	// Recorder captures the type schedule. Nil disables recording.
+	Recorder Recorder
+	// PoolSize is the requested worker-pool size (like UV_THREADPOOL_SIZE,
+	// default 4). The scheduler may override it; the fuzzer forces 1.
+	PoolSize int
+}
+
+// Stats counts scheduler-visible activity during a run; used by tests and
+// the fzrun tool.
+type Stats struct {
+	Callbacks      int64 // callbacks executed on the loop (all kinds)
+	TimersRun      int64
+	TimersDeferred int64
+	EventsRun      int64
+	EventsDeferred int64
+	ClosesDeferred int64
+	TasksExecuted  int64
+	Iterations     int64
+}
+
+// Loop is a single-threaded event loop. Create it with New, register work
+// (timers, sources, tasks), then call Run, which returns when no live
+// handles remain, like uv_run(UV_RUN_DEFAULT).
+//
+// Methods that register or cancel work (SetTimeout, NextTick, QueueWork,
+// Source.Post, ...) are safe to call both before Run and from loop
+// callbacks. Source.Post and QueueWork are additionally safe from other
+// goroutines, which is how substrates inject I/O events.
+type Loop struct {
+	sched Scheduler
+	rec   Recorder
+
+	mu       sync.Mutex
+	wake     chan struct{}
+	pending  []*Event // ready events (the "epoll results")
+	deferred []*Event // events the scheduler pushed to the next iteration
+	refs     int      // live handles + outstanding work
+	stopped  bool
+
+	// Loop-goroutine-only state (no locking needed).
+	timers     timerHeap
+	timerSeq   uint64
+	ticks      []tickFn
+	immediates []*immediateReq
+	pendingCBs []*Event
+	closing    []*closeReq
+	running    bool
+
+	phaseHandles map[PhaseKind][]*PhaseHandle
+
+	pool    *pool.Pool
+	runLock sync.Locker // serializes callbacks with worker tasks under the fuzzer
+
+	pollStart atomic.Int64 // unix-nanos when the loop entered poll; 0 otherwise
+	depth     atomic.Int32 // callback nesting guard, used to detect overlap
+
+	stats Stats
+}
+
+type tickFn struct {
+	label string
+	fn    func()
+}
+
+type immediateReq struct {
+	label string
+	fn    func()
+}
+
+type closeReq struct {
+	label string
+	fn    func()
+}
+
+type nopLocker struct{}
+
+func (nopLocker) Lock()   {}
+func (nopLocker) Unlock() {}
+
+// New builds a loop and starts its worker pool.
+func New(opts Options) *Loop {
+	if opts.Scheduler == nil {
+		opts.Scheduler = VanillaScheduler{}
+	}
+	if opts.Recorder == nil {
+		opts.Recorder = nopRecorder{}
+	}
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 4
+	}
+	l := &Loop{
+		sched:        opts.Scheduler,
+		rec:          opts.Recorder,
+		wake:         make(chan struct{}, 1),
+		phaseHandles: make(map[PhaseKind][]*PhaseHandle),
+	}
+	if l.sched.Serialize() {
+		l.runLock = &sync.Mutex{}
+	} else {
+		l.runLock = nopLocker{}
+	}
+	size := l.sched.PoolSize(opts.PoolSize)
+	var workLock sync.Locker
+	if l.sched.Serialize() {
+		workLock = l.runLock
+	}
+	l.pool = pool.New(pool.Config{
+		Size:    size,
+		Picker:  l.sched,
+		RunLock: workLock,
+		Demux:   l.sched.DemuxDone(),
+		Post: func(kind, label string, cb func()) {
+			l.post(&Event{Kind: kind, Label: label, CB: cb})
+		},
+		Record: func(kind, label string) {
+			atomic.AddInt64(&l.stats.TasksExecuted, 1)
+			l.rec.Record(kind, label)
+		},
+		TimeInPoll: l.timeInPoll,
+	})
+	return l
+}
+
+// Scheduler returns the loop's scheduler.
+func (l *Loop) Scheduler() Scheduler { return l.sched }
+
+// Stats returns a snapshot of the loop's counters.
+func (l *Loop) Stats() Stats {
+	return Stats{
+		Callbacks:      atomic.LoadInt64(&l.stats.Callbacks),
+		TimersRun:      atomic.LoadInt64(&l.stats.TimersRun),
+		TimersDeferred: atomic.LoadInt64(&l.stats.TimersDeferred),
+		EventsRun:      atomic.LoadInt64(&l.stats.EventsRun),
+		EventsDeferred: atomic.LoadInt64(&l.stats.EventsDeferred),
+		ClosesDeferred: atomic.LoadInt64(&l.stats.ClosesDeferred),
+		TasksExecuted:  atomic.LoadInt64(&l.stats.TasksExecuted),
+		Iterations:     atomic.LoadInt64(&l.stats.Iterations),
+	}
+}
+
+// ErrAlreadyRunning is returned by Run if the loop is running.
+var ErrAlreadyRunning = errors.New("eventloop: loop already running")
+
+// Run executes the loop until no live handles or queued work remain, or
+// until Stop is called, then shuts the worker pool down. It must not be
+// called concurrently with itself.
+func (l *Loop) Run() error {
+	if l.running {
+		return ErrAlreadyRunning
+	}
+	l.running = true
+	defer func() { l.running = false }()
+	l.pool.Restart() // re-arm the workers when Run is called again
+
+	for l.alive() {
+		atomic.AddInt64(&l.stats.Iterations, 1)
+		// Ticks queued outside any callback (top level, or by another
+		// goroutine between iterations) drain at iteration start, like
+		// process.nextTick callbacks scheduled from module scope.
+		l.drainTicks()
+		l.runTimers()
+		l.runPendingPhase()
+		l.runPhaseHandles(IdleHandle)
+		l.runPhaseHandles(PrepareHandle)
+		l.poll()
+		l.runTimers() // "timers again" (§4.1)
+		l.runPhaseHandles(CheckHandle)
+		l.runImmediates()
+		l.runClosing()
+	}
+	l.pool.Close()
+	return nil
+}
+
+// Stop makes Run return as soon as the current phase completes. Safe from
+// any goroutine.
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+// alive reports whether the loop has anything left to do.
+func (l *Loop) alive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		return false
+	}
+	// Note: pending timers are not consulted directly — a ref'd timer holds
+	// a loop reference until it fires or is stopped, and an unref'd timer
+	// must not keep the loop alive (uv_unref semantics).
+	return l.refs > 0 ||
+		len(l.pending) > 0 || len(l.deferred) > 0 ||
+		len(l.ticks) > 0 || len(l.immediates) > 0 ||
+		len(l.pendingCBs) > 0 || len(l.closing) > 0
+}
+
+func (l *Loop) isStopped() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stopped
+}
+
+// ref/unref track live handles, like uv_ref/uv_unref.
+func (l *Loop) ref() {
+	l.mu.Lock()
+	l.refs++
+	l.mu.Unlock()
+}
+
+func (l *Loop) unref() {
+	l.mu.Lock()
+	l.refs--
+	if l.refs < 0 {
+		l.mu.Unlock()
+		panic("eventloop: handle refcount underflow")
+	}
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+func (l *Loop) wakeup() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// post delivers a ready event to the poll phase. Safe from any goroutine.
+func (l *Loop) post(ev *Event) {
+	l.mu.Lock()
+	l.pending = append(l.pending, ev)
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+// execute runs one callback on the loop goroutine: records it, takes the
+// run lock (serialized mode), and drains the NextTick queue afterwards.
+func (l *Loop) execute(kind, label string, cb func()) {
+	atomic.AddInt64(&l.stats.Callbacks, 1)
+	l.runLock.Lock()
+	l.rec.Record(kind, label)
+	if l.depth.Add(1) != 1 {
+		panic("eventloop: overlapping loop callbacks")
+	}
+	cb()
+	l.depth.Add(-1)
+	l.runLock.Unlock()
+	l.drainTicks()
+}
+
+// drainTicks runs queued NextTick callbacks, including ones they enqueue,
+// before the loop proceeds to any other event.
+func (l *Loop) drainTicks() {
+	for {
+		l.mu.Lock()
+		if len(l.ticks) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		t := l.ticks[0]
+		l.ticks = l.ticks[1:]
+		l.mu.Unlock()
+
+		atomic.AddInt64(&l.stats.Callbacks, 1)
+		l.runLock.Lock()
+		l.rec.Record(KindTick, t.label)
+		if l.depth.Add(1) != 1 {
+			panic("eventloop: overlapping loop callbacks")
+		}
+		t.fn()
+		l.depth.Add(-1)
+		l.runLock.Unlock()
+		l.unref()
+	}
+}
+
+// --- timer phase ---------------------------------------------------------
+
+// SetTimeout schedules cb to run once, at least d after now. Like Node's
+// setTimeout there is no upper bound on lateness (§4.4).
+func (l *Loop) SetTimeout(d time.Duration, cb func()) *Timer {
+	return l.addTimer(d, 0, "", cb)
+}
+
+// SetTimeoutNamed is SetTimeout with a schedule label.
+func (l *Loop) SetTimeoutNamed(label string, d time.Duration, cb func()) *Timer {
+	return l.addTimer(d, 0, label, cb)
+}
+
+// SetInterval schedules cb to run every d until the returned Timer is
+// stopped.
+func (l *Loop) SetInterval(d time.Duration, cb func()) *Timer {
+	return l.addTimer(d, d, "", cb)
+}
+
+// SetIntervalNamed is SetInterval with a schedule label.
+func (l *Loop) SetIntervalNamed(label string, d time.Duration, cb func()) *Timer {
+	return l.addTimer(d, d, label, cb)
+}
+
+func (l *Loop) addTimer(d, period time.Duration, label string, cb func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	l.timerSeq++
+	t := &Timer{
+		loop:     l,
+		cb:       cb,
+		deadline: time.Now().Add(d),
+		dur:      d,
+		period:   period,
+		seq:      l.timerSeq,
+		refed:    true,
+		label:    label,
+	}
+	heap.Push(&l.timers, t)
+	l.ref()
+	return t
+}
+
+// runTimers executes due timers in {deadline, registration} order, giving
+// the scheduler the chance to defer a suffix of them (short-circuit,
+// §4.3.4) with an injected delay.
+func (l *Loop) runTimers() {
+	if l.isStopped() {
+		return
+	}
+	now := time.Now()
+	var due []*Timer
+	for l.timers.Len() > 0 && !l.timers[0].deadline.After(now) {
+		due = append(due, heap.Pop(&l.timers).(*Timer))
+	}
+	if len(due) == 0 {
+		return
+	}
+	run, delay := l.sched.FilterTimers(len(due))
+	if run > len(due) {
+		run = len(due)
+	}
+	if run < 0 {
+		run = 0
+	}
+	// Deferred timers go straight back on the heap; their (deadline, seq)
+	// keys preserve the original order for the next iteration.
+	for _, t := range due[run:] {
+		heap.Push(&l.timers, t)
+	}
+	atomic.AddInt64(&l.stats.TimersDeferred, int64(len(due)-run))
+	for _, t := range due[:run] {
+		l.fireTimer(t)
+	}
+	if run < len(due) && delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+func (l *Loop) fireTimer(t *Timer) {
+	if t.stopped {
+		return
+	}
+	if t.period > 0 {
+		t.deadline = time.Now().Add(t.period)
+		heap.Push(&l.timers, t)
+	} else {
+		t.stopped = true
+		if t.refed {
+			t.refed = false
+			l.unref()
+		}
+	}
+	atomic.AddInt64(&l.stats.TimersRun, 1)
+	l.execute(KindTimer, t.label, t.cb)
+}
+
+// nextTimerWait returns how long poll may block before the next timer is
+// due; ok is false when no timers are pending.
+func (l *Loop) nextTimerWait() (time.Duration, bool) {
+	if l.timers.Len() == 0 {
+		return 0, false
+	}
+	d := time.Until(l.timers[0].deadline)
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// --- pending phase -------------------------------------------------------
+
+// QueuePending schedules cb for the loop's "pending callbacks" phase, used
+// by substrates to finish work deferred from a previous iteration.
+func (l *Loop) QueuePending(label string, cb func()) {
+	l.mu.Lock()
+	l.pendingCBs = append(l.pendingCBs, &Event{Kind: KindPending, Label: label, CB: cb})
+	l.refs++
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+func (l *Loop) runPendingPhase() {
+	l.mu.Lock()
+	batch := l.pendingCBs
+	l.pendingCBs = nil
+	l.mu.Unlock()
+	for _, ev := range batch {
+		l.execute(ev.Kind, ev.Label, ev.CB)
+		l.unref()
+	}
+}
+
+// --- poll phase ----------------------------------------------------------
+
+func (l *Loop) timeInPoll() time.Duration {
+	start := l.pollStart.Load()
+	if start == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - start)
+}
+
+// poll blocks for ready events (bounded by the next timer deadline and by
+// pending immediates), then lets the scheduler shuffle and defer the ready
+// list before executing it (§4.3.2).
+func (l *Loop) poll() {
+	timeout := l.pollTimeout()
+	if timeout != 0 {
+		l.pollStart.Store(time.Now().UnixNano())
+		if timeout < 0 {
+			<-l.wake
+		} else {
+			t := time.NewTimer(timeout)
+			select {
+			case <-l.wake:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		l.pollStart.Store(0)
+	}
+	if l.isStopped() {
+		return
+	}
+
+	l.mu.Lock()
+	ready := l.deferred
+	l.deferred = nil
+	ready = append(ready, l.pending...)
+	l.pending = nil
+	l.mu.Unlock()
+	if len(ready) == 0 {
+		return
+	}
+
+	run, deferred := l.sched.ShuffleReady(ready)
+	if len(run)+len(deferred) != len(ready) {
+		panic(fmt.Sprintf("eventloop: scheduler %s lost events: %d+%d != %d",
+			l.sched.Name(), len(run), len(deferred), len(ready)))
+	}
+	run, deferred = enforcePerSourceOrder(ready, run, deferred)
+	if len(deferred) > 0 {
+		l.mu.Lock()
+		l.deferred = append(l.deferred, deferred...)
+		l.mu.Unlock()
+		atomic.AddInt64(&l.stats.EventsDeferred, int64(len(deferred)))
+	}
+	for _, ev := range run {
+		if ev.src != nil && ev.src.isClosed() {
+			// The handle was closed while the event sat in the queue; its
+			// callbacks must no longer fire (like a closed uv handle).
+			ev.src.release()
+			continue
+		}
+		atomic.AddInt64(&l.stats.EventsRun, 1)
+		l.execute(ev.Kind, ev.Label, ev.CB)
+		if ev.src != nil {
+			ev.src.release()
+		}
+		if l.isStopped() {
+			return
+		}
+	}
+}
+
+// pollTimeout mirrors uv_backend_timeout: 0 when there is anything to do
+// right now, the time until the next timer otherwise, and -1 (block
+// indefinitely) when only external events can make progress.
+func (l *Loop) pollTimeout() time.Duration {
+	l.mu.Lock()
+	busy := len(l.pending) > 0 || len(l.deferred) > 0 ||
+		len(l.ticks) > 0 || len(l.immediates) > 0 ||
+		len(l.pendingCBs) > 0 || len(l.closing) > 0 ||
+		l.stopped
+	refs := l.refs
+	l.mu.Unlock()
+	if busy {
+		return 0
+	}
+	// An active idle handle must run every iteration: never block in poll.
+	if l.hasActivePhase(IdleHandle) {
+		return 0
+	}
+	if d, ok := l.nextTimerWait(); ok {
+		return d
+	}
+	if refs > 0 {
+		return -1
+	}
+	return 0
+}
+
+// --- check phase (immediates) and ticks ----------------------------------
+
+// SetImmediate schedules cb for the check phase of the current (or next)
+// loop iteration, after poll events — Node's setImmediate.
+func (l *Loop) SetImmediate(cb func()) { l.SetImmediateNamed("", cb) }
+
+// SetImmediateNamed is SetImmediate with a schedule label.
+func (l *Loop) SetImmediateNamed(label string, cb func()) {
+	l.mu.Lock()
+	l.immediates = append(l.immediates, &immediateReq{label: label, fn: cb})
+	l.refs++
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+// NextTick schedules cb to run after the current callback completes, before
+// any other event — Node's process.nextTick.
+func (l *Loop) NextTick(cb func()) { l.NextTickNamed("", cb) }
+
+// NextTickNamed is NextTick with a schedule label.
+func (l *Loop) NextTickNamed(label string, cb func()) {
+	l.mu.Lock()
+	l.ticks = append(l.ticks, tickFn{label: label, fn: cb})
+	l.refs++
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+func (l *Loop) runImmediates() {
+	if l.isStopped() {
+		return
+	}
+	// Immediates scheduled by immediate callbacks run on the next iteration,
+	// matching Node: snapshot the queue first.
+	l.mu.Lock()
+	batch := l.immediates
+	l.immediates = nil
+	l.mu.Unlock()
+	for _, im := range batch {
+		l.execute(KindImmediate, im.label, im.fn)
+		l.unref()
+	}
+}
+
+// --- close phase ---------------------------------------------------------
+
+func (l *Loop) queueClose(label string, cb func()) {
+	l.mu.Lock()
+	l.closing = append(l.closing, &closeReq{label: label, fn: cb})
+	l.refs++
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+func (l *Loop) runClosing() {
+	if l.isStopped() {
+		return
+	}
+	l.mu.Lock()
+	batch := l.closing
+	l.closing = nil
+	l.mu.Unlock()
+	var kept []*closeReq
+	for i, cr := range batch {
+		if l.sched.DeferClose(cr.label) {
+			kept = append(kept, batch[i])
+			atomic.AddInt64(&l.stats.ClosesDeferred, 1)
+			continue
+		}
+		l.execute(KindClose, cr.label, cr.fn)
+		l.unref()
+	}
+	if len(kept) > 0 {
+		l.mu.Lock()
+		l.closing = append(kept, l.closing...)
+		l.mu.Unlock()
+	}
+}
+
+// --- worker pool ---------------------------------------------------------
+
+// QueueWork offloads fn to the worker pool; done runs later on the loop
+// with fn's results, like uv_queue_work. The loop stays alive until done
+// has run. Safe from any goroutine.
+func (l *Loop) QueueWork(name string, fn func() (any, error), done func(any, error)) {
+	l.ref()
+	l.pool.Submit(&pool.Task{
+		Name: name,
+		Fn:   fn,
+		Done: func(res any, err error) {
+			defer l.unref()
+			if done != nil {
+				done(res, err)
+			}
+		},
+	})
+}
+
+// PoolQueueLen reports the number of worker-pool tasks not yet started.
+func (l *Loop) PoolQueueLen() int { return l.pool.QueueLen() }

@@ -1,0 +1,120 @@
+package eventloop
+
+// PhaseKind selects which loop phase a PhaseHandle runs in (§4.1: "idle,
+// prepare, and check handles are callbacks to be invoked on every event
+// loop iteration").
+type PhaseKind int
+
+// The phases that accept per-iteration handles.
+const (
+	// IdleHandle runs every iteration, before prepare. Like libuv, an
+	// active idle handle keeps the loop from blocking in poll.
+	IdleHandle PhaseKind = iota
+	// PrepareHandle runs every iteration, right before poll.
+	PrepareHandle
+	// CheckHandle runs every iteration, right after poll (SetImmediate is
+	// sugar over a one-shot check-phase entry).
+	CheckHandle
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case IdleHandle:
+		return "idle"
+	case PrepareHandle:
+		return "prepare"
+	case CheckHandle:
+		return "check"
+	}
+	return "phase?"
+}
+
+// PhaseHandle is a repeating per-iteration callback, like uv_idle_t /
+// uv_prepare_t / uv_check_t. Create with Loop.NewPhaseHandle, then Start
+// it; a started handle references the loop. All methods must be called
+// from the loop goroutine (or before Run).
+type PhaseHandle struct {
+	loop    *Loop
+	kind    PhaseKind
+	label   string
+	cb      func()
+	started bool
+	closed  bool
+}
+
+// NewPhaseHandle registers a handle for the given phase. It starts
+// stopped.
+func (l *Loop) NewPhaseHandle(kind PhaseKind, label string, cb func()) *PhaseHandle {
+	h := &PhaseHandle{loop: l, kind: kind, label: label, cb: cb}
+	l.phaseHandles[kind] = append(l.phaseHandles[kind], h)
+	return h
+}
+
+// Start activates the handle: its callback runs once per loop iteration
+// until Stop. Starting a started or closed handle is a no-op.
+func (h *PhaseHandle) Start() {
+	if h.started || h.closed {
+		return
+	}
+	h.started = true
+	h.loop.ref()
+	h.loop.wakeup()
+}
+
+// Stop deactivates the handle without destroying it.
+func (h *PhaseHandle) Stop() {
+	if !h.started {
+		return
+	}
+	h.started = false
+	h.loop.unref()
+}
+
+// Close stops and permanently removes the handle.
+func (h *PhaseHandle) Close() {
+	if h.closed {
+		return
+	}
+	h.Stop()
+	h.closed = true
+	hs := h.loop.phaseHandles[h.kind]
+	for i, e := range hs {
+		if e == h {
+			h.loop.phaseHandles[h.kind] = append(hs[:i:i], hs[i+1:]...)
+			break
+		}
+	}
+}
+
+// Started reports whether the handle is active.
+func (h *PhaseHandle) Started() bool { return h.started }
+
+// runPhaseHandles executes every started handle of the given kind. The
+// handle list is snapshotted so callbacks may start/stop/close handles.
+func (l *Loop) runPhaseHandles(kind PhaseKind) {
+	if l.isStopped() {
+		return
+	}
+	hs := l.phaseHandles[kind]
+	if len(hs) == 0 {
+		return
+	}
+	snapshot := make([]*PhaseHandle, len(hs))
+	copy(snapshot, hs)
+	for _, h := range snapshot {
+		if h.started && !h.closed {
+			l.execute(kind.String(), h.label, h.cb)
+		}
+	}
+}
+
+// hasActivePhase reports whether any handle of kind is started; an active
+// idle handle forces a zero poll timeout, like libuv.
+func (l *Loop) hasActivePhase(kind PhaseKind) bool {
+	for _, h := range l.phaseHandles[kind] {
+		if h.started {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIdleHandleRunsEveryIteration(t *testing.T) {
+	l := New(Options{})
+	n := 0
+	var h *PhaseHandle
+	h = l.NewPhaseHandle(IdleHandle, "spin", func() {
+		n++
+		if n == 5 {
+			h.Close()
+		}
+	})
+	h.Start()
+	run(t, l)
+	if n != 5 {
+		t.Fatalf("idle ran %d times, want 5", n)
+	}
+}
+
+func TestPhaseOrderWithinIteration(t *testing.T) {
+	l := New(Options{})
+	var order []string
+	record := func(name string) func() {
+		return func() { order = append(order, name) }
+	}
+	var idle, prep, check *PhaseHandle
+	idle = l.NewPhaseHandle(IdleHandle, "", record("idle"))
+	prep = l.NewPhaseHandle(PrepareHandle, "", record("prepare"))
+	check = l.NewPhaseHandle(CheckHandle, "", record("check"))
+	idle.Start()
+	prep.Start()
+	check.Start()
+	l.SetTimeout(0, func() {
+		order = append(order, "timer")
+	})
+	// Stop everything from a later check pass so exactly >=1 full
+	// iteration is recorded.
+	stop := l.NewPhaseHandle(CheckHandle, "", nil)
+	stop.cb = func() {
+		idle.Close()
+		prep.Close()
+		check.Close()
+		stop.Close()
+	}
+	stop.Start()
+	run(t, l)
+	// First iteration must contain timer -> idle -> prepare -> ... -> check.
+	idx := map[string]int{}
+	for i, name := range order {
+		if _, ok := idx[name]; !ok {
+			idx[name] = i
+		}
+	}
+	if !(idx["timer"] < idx["idle"] && idx["idle"] < idx["prepare"] && idx["prepare"] < idx["check"]) {
+		t.Fatalf("phase order wrong: %v", order)
+	}
+}
+
+func TestStoppedHandleDoesNotRunOrKeepLoopAlive(t *testing.T) {
+	l := New(Options{})
+	ran := false
+	h := l.NewPhaseHandle(PrepareHandle, "", func() { ran = true })
+	h.Start()
+	h.Stop()
+	l.SetTimeout(time.Millisecond, func() {})
+	run(t, l) // must exit despite the handle existing
+	if ran {
+		t.Fatal("stopped handle ran")
+	}
+	if h.Started() {
+		t.Fatal("handle reports started after Stop")
+	}
+}
+
+func TestPhaseHandleStartIdempotent(t *testing.T) {
+	l := New(Options{})
+	n := 0
+	var h *PhaseHandle
+	h = l.NewPhaseHandle(CheckHandle, "", func() {
+		n++
+		h.Close()
+	})
+	h.Start()
+	h.Start() // second start must not double-ref
+	l.SetTimeout(time.Millisecond, func() {})
+	run(t, l)
+	if n != 1 {
+		t.Fatalf("check ran %d times", n)
+	}
+	h.Close() // double close is a no-op
+}
+
+func TestCheckHandleRunsAfterPollEvents(t *testing.T) {
+	l := New(Options{})
+	var order []string
+	src := l.NewSource("s")
+	var h *PhaseHandle
+	h = l.NewPhaseHandle(CheckHandle, "", func() {
+		if len(order) == 0 {
+			// The event has not been polled yet (the timer may have fired
+			// in the post-poll timer slot); wait for the next iteration.
+			return
+		}
+		order = append(order, "check")
+		h.Close()
+		src.Close(nil)
+	})
+	l.SetTimeout(time.Millisecond, func() {
+		src.Post("net-read", "s", func() { order = append(order, "event") })
+		h.Start()
+	})
+	run(t, l)
+	if len(order) != 2 || order[0] != "event" || order[1] != "check" {
+		t.Fatalf("order = %v, want [event check]", order)
+	}
+}
+
+func TestPhaseKindString(t *testing.T) {
+	if IdleHandle.String() != "idle" || PrepareHandle.String() != "prepare" ||
+		CheckHandle.String() != "check" || PhaseKind(9).String() != "phase?" {
+		t.Fatal("PhaseKind strings wrong")
+	}
+}

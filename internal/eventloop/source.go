@@ -1,0 +1,81 @@
+package eventloop
+
+import "sync"
+
+// Source is a pollable event source bound to a loop: the analogue of a file
+// descriptor in the loop's epoll set. Network listeners, connections, and
+// the fuzzer's de-multiplexed per-task completion descriptors (§4.3.3) are
+// all Sources.
+//
+// A Source keeps its loop alive until closed. Closing it schedules the
+// close callback for the loop's close phase (where the fuzzer may defer it)
+// and discards any of the source's events still queued, matching the
+// semantics of closing a libuv handle with pending I/O.
+type Source struct {
+	loop *Loop
+	name string
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int // events posted but not yet executed or discarded
+}
+
+// NewSource registers a new event source with the loop. Safe from any
+// goroutine.
+func (l *Loop) NewSource(name string) *Source {
+	l.ref()
+	return &Source{loop: l, name: name}
+}
+
+// Name returns the source's label.
+func (s *Source) Name() string { return s.name }
+
+// Post delivers an event produced by this source to the loop's poll phase.
+// Events posted after Close are dropped. Safe from any goroutine.
+func (s *Source) Post(kind, label string, cb func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.inflight++
+	s.mu.Unlock()
+	s.loop.post(&Event{Kind: kind, Label: label, CB: cb, src: s})
+}
+
+// isClosed reports whether the source has been closed; closed sources'
+// queued events are skipped by the poll phase.
+func (s *Source) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// release is called by the loop when one of the source's events has been
+// executed or discarded.
+func (s *Source) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// Close tears the source down: its undelivered events are discarded and cb
+// (which may be nil) runs in a subsequent close phase of the loop, subject
+// to the scheduler's close-deferral decision. The loop reference is dropped
+// only after the close callback has run. Closing twice is a no-op. Safe
+// from any goroutine.
+func (s *Source) Close(cb func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.loop.queueClose(s.name, func() {
+		if cb != nil {
+			cb()
+		}
+		s.loop.unref()
+	})
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+// TestCalibrationReport prints the per-bug manifestation rates under the
+// three §5.1 configurations. It is the live check that the corpus has the
+// Figure 6 shape: the fuzzer triggers the races far more often than vanilla
+// scheduling. Run with -v to see the table.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is expensive; skipped with -short")
+	}
+	trials := 20
+	if ts := os.Getenv("NODEFZ_CALIB_TRIALS"); ts != "" {
+		fmt.Sscanf(ts, "%d", &trials)
+	}
+	t.Logf("%-10s %8s %8s %8s", "bug", "nodeV", "nodeNFZ", "nodeFZ")
+	filter := os.Getenv("NODEFZ_CALIB")
+	for _, app := range bugs.All() {
+		if app.Abbr == "KUE-2014" {
+			continue // evaluated in the guided experiment
+		}
+		if filter != "" && !strings.Contains(","+filter+",", ","+app.Abbr+",") {
+			continue
+		}
+		var fracs []float64
+		for _, m := range Fig6Modes() {
+			r := ReproRate(app, m, trials, 1000)
+			fracs = append(fracs, r.Fraction())
+		}
+		t.Logf("%-10s %8.2f %8.2f %8.2f", app.Abbr, fracs[0], fracs[1], fracs[2])
+	}
+}

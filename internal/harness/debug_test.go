@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+// TestDebugNotes prints per-trial outcome notes for the bugs named in
+// NODEFZ_DEBUG (comma-separated), under the mode in NODEFZ_DEBUG_MODE.
+// Developer tool, skipped unless the environment variable is set.
+func TestDebugNotes(t *testing.T) {
+	spec := os.Getenv("NODEFZ_DEBUG")
+	if spec == "" {
+		t.Skip("set NODEFZ_DEBUG=EPL,GHO to enable")
+	}
+	mode := ModeVanilla
+	if ms := os.Getenv("NODEFZ_DEBUG_MODE"); ms != "" {
+		m, err := ParseMode(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode = m
+	}
+	for _, abbr := range strings.Split(spec, ",") {
+		app := bugs.ByAbbr(abbr)
+		if app == nil {
+			t.Fatalf("unknown bug %q", abbr)
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			out := app.Run(bugs.RunConfig{Seed: seed, Scheduler: SchedulerFor(mode, seed)})
+			t.Logf("%s %s seed=%d manifested=%v note=%q", abbr, mode, seed, out.Manifested, out.Note)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+func TestExploreBaselineCountsPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real trials")
+	}
+	// RST manifests often even without perturbation (vanilla-frequent), so
+	// the search usually ends early; either way the bookkeeping must hold.
+	res := Explore(bugs.ByAbbr("RST"), 5, 10, 15)
+	if res.Points <= 0 {
+		t.Fatalf("no decision points measured: %+v", res)
+	}
+	if res.Runs < 1 || res.Runs > 15 {
+		t.Fatalf("runs = %d", res.Runs)
+	}
+	var buf bytes.Buffer
+	WriteExplore(&buf, res)
+	if !strings.Contains(buf.String(), "decision points") {
+		t.Error("explore output malformed")
+	}
+}
+
+func TestExploreFindsDelayVector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real trials")
+	}
+	// NES is timer-deferral sensitive: the systematic search should find a
+	// manifesting schedule within a modest budget most of the time. Try a
+	// few seeds; require at least one hit.
+	found := false
+	var last ExploreResult
+	for seed := int64(0); seed < 3 && !found; seed++ {
+		last = Explore(bugs.ByAbbr("NES"), seed, 25, 60)
+		found = last.Manifested
+	}
+	if !found {
+		t.Skipf("systematic search found nothing within budget (last: %+v); "+
+			"acceptable — wall-clock variance — but worth watching", last)
+	}
+	var buf bytes.Buffer
+	WriteExplore(&buf, last)
+	if !strings.Contains(buf.String(), "manifested") {
+		t.Error("explore output missing manifestation")
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nodefz/internal/bugs"
+)
+
+// Fig6Row is one group of bars in Figure 6: a bug's manifestation rate
+// under each runtime configuration.
+type Fig6Row struct {
+	Abbr  string
+	Rates map[Mode]Rate
+}
+
+// Fig6 reproduces the paper's primary experiment (§5.1.3): run the test
+// case for every Figure 6 bug `trials` times under nodeV, nodeNFZ and
+// nodeFZ, and report the manifestation rates. The paper used 100 trials for
+// the studied bugs ("roughly the number of rounds of testing we ourselves
+// use before declaring our own software relatively bug free").
+func Fig6(trials int, baseSeed int64) []Fig6Row {
+	var rows []Fig6Row
+	for _, app := range bugs.Fig6Set() {
+		row := Fig6Row{Abbr: app.Abbr, Rates: make(map[Mode]Rate)}
+		for _, m := range Fig6Modes() {
+			row.Rates[m] = ReproRate(app, m, trials, baseSeed)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteFig6 renders the rows as the figure's table plus ASCII bars.
+func WriteFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Figure 6: Bug reproduction rates using different versions of the runtime\n\n")
+	fmt.Fprintf(w, "%-11s %8s %8s %8s\n", "bug", "nodeV", "nodeNFZ", "nodeFZ")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-11s %8.2f %8.2f %8.2f\n", row.Abbr,
+			row.Rates[ModeVanilla].Fraction(),
+			row.Rates[ModeNFZ].Fraction(),
+			row.Rates[ModeFZ].Fraction())
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-11s\n", row.Abbr)
+		for _, m := range Fig6Modes() {
+			r := row.Rates[m]
+			fmt.Fprintf(w, "  %-8s |%s %d/%d\n", m, bar(r.Fraction(), 40), r.Manifested, r.Trials)
+		}
+	}
+}
+
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

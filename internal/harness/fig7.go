@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"nodefz/internal/sched"
+)
+
+// Fig7Row is one module's schedule-variation measurement: the mean pairwise
+// normalized Levenshtein distance between the type schedules of `runs`
+// suite executions, under nodeNFZ and nodeFZ.
+type Fig7Row struct {
+	Abbr      string
+	Runs      int
+	Truncate  int
+	NFZ, FZ   float64
+	SchedLens [2]int // mean schedule length under each mode, for context
+}
+
+// Fig7 reproduces §5.3's schedule-space-exploration experiment: the paper
+// ran each module's test suite 10 times under nodeNFZ and nodeFZ, recorded
+// the type of each executed callback, and computed the pairwise normalized
+// Levenshtein distance over the first `truncate` callbacks (20K in the
+// paper; truncate < 0 disables truncation).
+//
+// nodeNFZ stands in for nodeV because only a serializing configuration
+// produces a comparable type schedule (§5.3 footnote 19).
+func Fig7(runs, truncate int, baseSeed int64) []Fig7Row {
+	rows := make([]Fig7Row, len(Fig7Modules))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, abbr := range Fig7Modules {
+		i, abbr := i, abbr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := Fig7Row{Abbr: abbr, Runs: runs, Truncate: truncate}
+			for mi, mode := range []Mode{ModeNFZ, ModeFZ} {
+				schedules := make([][]string, runs)
+				totalLen := 0
+				for r := 0; r < runs; r++ {
+					sem <- struct{}{}
+					rec := sched.NewRecorder()
+					runSuite(abbr, mode, baseSeed+int64(r*131), rec)
+					schedules[r] = rec.Types()
+					totalLen += len(schedules[r])
+					<-sem
+				}
+				nld := sched.MeanPairwiseNLD(schedules, truncate)
+				if mode == ModeNFZ {
+					row.NFZ = nld
+				} else {
+					row.FZ = nld
+				}
+				row.SchedLens[mi] = totalLen / runs
+			}
+			rows[i] = row
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// WriteFig7 renders the rows.
+func WriteFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Figure 7: Normalized Levenshtein Distance between type schedules\n")
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "(%d runs per mode, schedules truncated to %d callbacks)\n\n", rows[0].Runs, rows[0].Truncate)
+	}
+	fmt.Fprintf(w, "%-8s %8s %8s %14s\n", "module", "nodeNFZ", "nodeFZ", "avg sched len")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8s %8.3f %8.3f %7d/%d\n", row.Abbr, row.NFZ, row.FZ, row.SchedLens[0], row.SchedLens[1])
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8s nodeNFZ |%s %.3f\n", row.Abbr, bar(row.NFZ, 40), row.NFZ)
+		fmt.Fprintf(w, "%-8s nodeFZ  |%s %.3f\n", "", bar(row.FZ, 40), row.FZ)
+	}
+}

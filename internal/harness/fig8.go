@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Fig8Row is one module's overhead measurement: mean suite wall time under
+// each configuration, normalized to nodeV.
+type Fig8Row struct {
+	Abbr  string
+	Runs  int
+	Mean  map[Mode]time.Duration
+	Ratio map[Mode]float64
+}
+
+// Fig8 reproduces §5.4's performance experiment: run each module's suite
+// `runs` times under nodeV, nodeNFZ and nodeFZ (the paper used 50 on an
+// otherwise idle system) and report the normalized mean run time. The paper
+// observed nodeNFZ comparable to nodeV and nodeFZ up to ~1.5x, noting "the
+// amount of overhead will vary with different choices of scheduler
+// parameters" — with this repository's millisecond-scale workloads the
+// injected 5 ms deferral delays weigh proportionally more.
+func Fig8(runs int, baseSeed int64) []Fig8Row {
+	rows := make([]Fig8Row, len(Fig7Modules))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU()/2+1)
+	for i, abbr := range Fig7Modules {
+		i, abbr := i, abbr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := Fig8Row{
+				Abbr:  abbr,
+				Runs:  runs,
+				Mean:  make(map[Mode]time.Duration),
+				Ratio: make(map[Mode]float64),
+			}
+			for _, mode := range Fig6Modes() {
+				var total time.Duration
+				for r := 0; r < runs; r++ {
+					sem <- struct{}{}
+					total += runSuite(abbr, mode, baseSeed+int64(r*197), nil)
+					<-sem
+				}
+				row.Mean[mode] = total / time.Duration(runs)
+			}
+			base := row.Mean[ModeVanilla]
+			for _, mode := range Fig6Modes() {
+				if base > 0 {
+					row.Ratio[mode] = float64(row.Mean[mode]) / float64(base)
+				}
+			}
+			rows[i] = row
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// WriteFig8 renders the rows.
+func WriteFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8: Normalized performance overhead of running module suites\n")
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "(%d runs per mode; 1.00 = nodeV wall time)\n\n", rows[0].Runs)
+	}
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %8s %8s\n",
+		"module", "nodeV", "nodeNFZ", "nodeFZ", "NFZ/V", "FZ/V")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-8s %10s %10s %10s %8.2f %8.2f\n", row.Abbr,
+			row.Mean[ModeVanilla].Round(time.Millisecond),
+			row.Mean[ModeNFZ].Round(time.Millisecond),
+			row.Mean[ModeFZ].Round(time.Millisecond),
+			row.Ratio[ModeNFZ], row.Ratio[ModeFZ])
+	}
+}

@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+// TestGuidedCalibration measures the §5.2.3 "race against time" under all
+// four configurations: guided fuzzing should multiply the manifestation
+// rate relative to the other three (paper: 3/50 -> 13/50).
+func TestGuidedCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	app := bugs.ByAbbr("KUE-2014")
+	for _, m := range []Mode{ModeVanilla, ModeNFZ, ModeFZ, ModeGuided} {
+		r := ReproRate(app, m, 25, 500)
+		t.Logf("%-15s %d/%d", m, r.Manifested, r.Trials)
+	}
+}
+
+// TestFixedVariantsNeverManifest is the corpus-level correctness check: the
+// paper's patches eliminate every manifestation even under the fuzzer.
+func TestFixedVariantsNeverManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	for _, app := range bugs.All() {
+		if app.RunFixed == nil || app.Abbr == "KUE-2014" {
+			continue
+		}
+		r := FixedRate(app, ModeFZ, 10, 3000)
+		if r.Manifested > 0 {
+			t.Errorf("%s: fixed variant manifested %d/%d (%s)", app.Abbr, r.Manifested, r.Trials, r.FirstNote)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/eventloop"
+)
+
+// Rate is a manifestation rate over a batch of trials.
+type Rate struct {
+	Manifested int
+	Trials     int
+	// FirstNote is the detector's description from the first manifesting
+	// trial, if any.
+	FirstNote string
+}
+
+// Fraction is Manifested/Trials, 0 for an empty batch.
+func (r Rate) Fraction() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Manifested) / float64(r.Trials)
+}
+
+// ReproRate measures how often app's buggy variant manifests in trials runs
+// under mode, with per-trial seeds baseSeed, baseSeed+1, ... Trials run in
+// parallel (each owns its loop, network, and scheduler).
+func ReproRate(app *bugs.App, mode Mode, trials int, baseSeed int64) Rate {
+	return measure(app.Run, func(seed int64) eventloop.Scheduler {
+		return SchedulerFor(mode, seed)
+	}, trials, baseSeed)
+}
+
+// FixedRate measures the patched variant the same way; it should be zero
+// for every bug whose fix is known.
+func FixedRate(app *bugs.App, mode Mode, trials int, baseSeed int64) Rate {
+	if app.RunFixed == nil {
+		return Rate{}
+	}
+	return measure(app.RunFixed, func(seed int64) eventloop.Scheduler {
+		return SchedulerFor(mode, seed)
+	}, trials, baseSeed)
+}
+
+func mustApp(abbr string) *bugs.App {
+	app := bugs.ByAbbr(abbr)
+	if app == nil {
+		panic("harness: unknown bug " + abbr)
+	}
+	return app
+}
+
+func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eventloop.Scheduler, trials int, baseSeed int64) Rate {
+	if trials <= 0 {
+		return Rate{}
+	}
+	type result struct {
+		manifested bool
+		note       string
+	}
+	results := make([]result, trials)
+
+	workers := runtime.NumCPU()
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := baseSeed + int64(i)
+				out := run(bugs.RunConfig{
+					Seed:      seed,
+					Scheduler: mkSched(seed),
+				})
+				results[i] = result{manifested: out.Manifested, note: out.Note}
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	r := Rate{Trials: trials}
+	for _, res := range results {
+		if res.manifested {
+			r.Manifested++
+			if r.FirstNote == "" {
+				r.FirstNote = res.note
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"time"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/sched"
+)
+
+// Fig7Modules are the module suites whose schedules §5.3 compares
+// (Figure 7); Fig8 uses the same set for its overhead measurement.
+var Fig7Modules = []string{"FPS", "CLF", "AKA", "SIO", "MKD", "KUE", "MGS"}
+
+// runSuite executes one module's "test suite" — the buggy reproduction
+// followed by the patched variant, like a before/after regression pair —
+// under the given mode, recording the type schedule and returning the wall
+// time.
+func runSuite(abbr string, mode Mode, seed int64, rec *sched.Recorder) time.Duration {
+	app := bugs.ByAbbr(abbr)
+	if app == nil {
+		panic("harness: unknown module " + abbr)
+	}
+	start := time.Now()
+	var recorder *sched.Recorder
+	if rec != nil {
+		recorder = rec
+	}
+	cfg := bugs.RunConfig{Seed: seed, Scheduler: SchedulerFor(mode, seed)}
+	if recorder != nil {
+		cfg.Recorder = recorder
+	}
+	app.Run(cfg)
+	cfg2 := bugs.RunConfig{Seed: seed + 1, Scheduler: SchedulerFor(mode, seed+1)}
+	if recorder != nil {
+		cfg2.Recorder = recorder
+	}
+	if app.RunFixed != nil {
+		app.RunFixed(cfg2)
+	}
+	return time.Since(start)
+}

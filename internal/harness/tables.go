@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/core"
+)
+
+// WriteTable1 renders the studied-software inventory (paper Table 1).
+func WriteTable1(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: Node.js software used in the bug study\n\n")
+	fmt.Fprintf(w, "%-22s %-10s %-12s %6s %8s  %s\n",
+		"Name", "Abbr.", "Type", "LoC", "Dl/mo", "Description")
+	for _, a := range bugs.Studied() {
+		fmt.Fprintf(w, "%-22s %-10s %-12s %6s %8s  %s\n",
+			a.Name, a.Abbr, a.Type, a.LoC, a.DlMo, a.Desc)
+	}
+}
+
+// WriteTable2 renders the bug characteristics (paper Table 2), including
+// the novel bugs.
+func WriteTable2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: Characteristics of concurrency bugs in Node.js software\n\n")
+	fmt.Fprintf(w, "%-10s %-10s %-6s %-9s %-12s %-42s %s\n",
+		"Abbr.", "Bug #", "Race", "Events", "Race on", "Impact", "Fix")
+	for _, a := range bugs.All() {
+		if a.Abbr == "KUE-2014" {
+			continue // §5.2.3's race against time is not a Table 2 row
+		}
+		fmt.Fprintf(w, "%-10s %-10s %-6s %-9s %-12s %-42s %s\n",
+			a.Abbr, a.Issue, a.RaceType, a.RacingEvents, a.RaceOn, a.Impact, a.FixStrategy)
+	}
+}
+
+// WriteTable3 renders the scheduler parameters and their standard
+// parameterization (paper Table 3).
+func WriteTable3(w io.Writer) {
+	p := core.StandardParams()
+	fmt.Fprintf(w, "Table 3: Node.fz scheduler parameters (standard parameterization)\n\n")
+	rows := []struct{ name, desc, val string }{
+		{"Event Loop: epoll degrees of freedom",
+			"Maximum shuffle distance of epoll ready items.",
+			dofString(p.EpollDoF)},
+		{"Event Loop: epoll deferral percentage",
+			"Probability of deferring a ready epoll item until the next iteration.",
+			fmt.Sprintf("%d%%", p.EpollDeferralPct)},
+		{"Event Loop: Timer deferral percentage",
+			"Probability of deferring an expired timer until the next iteration.",
+			fmt.Sprintf("%d%%", p.TimerDeferralPct)},
+		{"Event Loop: \"closing\" deferral percentage",
+			"Probability of deferring a \"close\" event until the next iteration.",
+			fmt.Sprintf("%d%%", p.CloseDeferralPct)},
+		{"Worker Pool: Degrees of freedom",
+			"Work queue lookahead distance (number of simulated workers).",
+			dofString(p.WorkerDoF)},
+		{"Worker Pool: Max delay",
+			"Total maximum time to wait to fill the work queue up to the DoF.",
+			p.WorkerMaxDelay.String()},
+		{"Worker Pool: epoll threshold",
+			"Maximum time the loop can sit in poll while the task queue fills.",
+			p.WorkerEpollThreshold.String()},
+		{"(impl) Timer deferral delay",
+			"Delay injected when a timer is deferred (§4.3.4).",
+			p.TimerDeferralDelay.String()},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-44s %-16s %s\n", r.name, r.val, r.desc)
+	}
+}
+
+func dofString(v int) string {
+	if v < 0 {
+		return "-1 (unlimited)"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/sched"
+)
+
+// TestTraceSchedule dumps the full labeled, timestamped schedule of one bug
+// trial. Developer tool: NODEFZ_TRACE=CLF NODEFZ_TRACE_SEED=3 etc.
+func TestTraceSchedule(t *testing.T) {
+	abbr := os.Getenv("NODEFZ_TRACE")
+	if abbr == "" {
+		t.Skip("set NODEFZ_TRACE=<abbr>")
+	}
+	app := bugs.ByAbbr(abbr)
+	if app == nil {
+		t.Fatalf("unknown bug %q", abbr)
+	}
+	mode := ModeFZ
+	if ms := os.Getenv("NODEFZ_TRACE_MODE"); ms != "" {
+		m, err := ParseMode(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode = m
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rec := sched.NewRecorder()
+		out := app.Run(bugs.RunConfig{Seed: seed, Scheduler: SchedulerFor(mode, seed), Recorder: rec})
+		entries := rec.Entries()
+		if len(entries) == 0 {
+			t.Fatal("empty schedule")
+		}
+		start := entries[0].At
+		t.Logf("=== seed=%d manifested=%v note=%q", seed, out.Manifested, out.Note)
+		for _, e := range entries {
+			t.Logf("  [%7.2fms] %-10s %s", float64(e.At.Sub(start).Microseconds())/1000, e.Kind, e.Label)
+		}
+	}
+}

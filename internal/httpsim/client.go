@@ -1,0 +1,126 @@
+package httpsim
+
+import (
+	"errors"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simnet"
+)
+
+// ErrClientClosed reports a request issued after Client.Close.
+var ErrClientClosed = errors.New("httpsim: client closed")
+
+// clientConn is one keep-alive connection: requests on it are served
+// strictly in order (per-connection FIFO), one response per request.
+type clientConn struct {
+	conn    *simnet.Conn
+	pending []func(*Response, error)
+}
+
+// Client issues requests to one server address over a keep-alive
+// connection pool. Like a browser or a driver, concurrent requests are
+// striped round-robin across connections, so responses to requests issued
+// back-to-back may arrive in either order — the §4.2.1 nondeterminism.
+// PoolSize 1 restores strict ordering.
+type Client struct {
+	loop   *eventloop.Loop
+	conns  []*clientConn
+	next   int
+	closed bool
+}
+
+// NewClient dials poolSize keep-alive connections to addr; ready runs on
+// loop with the client (or the first dial error).
+func NewClient(l *eventloop.Loop, net *simnet.Network, addr string, poolSize int, ready func(*Client, error)) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	c := &Client{loop: l}
+	remaining := poolSize
+	failed := false
+	for i := 0; i < poolSize; i++ {
+		net.Dial(l, addr, func(conn *simnet.Conn, err error) {
+			if failed {
+				if conn != nil {
+					conn.Close()
+				}
+				return
+			}
+			if err != nil {
+				failed = true
+				ready(nil, err)
+				return
+			}
+			cc := &clientConn{conn: conn}
+			conn.OnData(func(msg []byte) {
+				if len(cc.pending) == 0 {
+					return // stray frame
+				}
+				cb := cc.pending[0]
+				cc.pending = cc.pending[1:]
+				resp, perr := parseResponse(msg)
+				cb(resp, perr)
+			})
+			conn.OnClose(func() {
+				// Fail outstanding requests on this connection.
+				pend := cc.pending
+				cc.pending = nil
+				for _, cb := range pend {
+					cb(nil, ErrClientClosed)
+				}
+			})
+			c.conns = append(c.conns, cc)
+			remaining--
+			if remaining == 0 {
+				ready(c, nil)
+			}
+		})
+	}
+}
+
+// Do issues a request; cb runs on the loop with the response. Must be
+// called from the loop.
+func (c *Client) Do(method, path string, body []byte, cb func(*Response, error)) {
+	if cb == nil {
+		cb = func(*Response, error) {}
+	}
+	if c.closed || len(c.conns) == 0 {
+		c.loop.NextTickNamed("http-err", func() { cb(nil, ErrClientClosed) })
+		return
+	}
+	cc := c.conns[c.next%len(c.conns)]
+	c.next++
+	req := &Request{Method: method, Path: path, Body: body, Header: map[string]string{}}
+	if err := cc.conn.Send(marshalRequest(req)); err != nil {
+		c.loop.NextTickNamed("http-err", func() { cb(nil, err) })
+		return
+	}
+	cc.pending = append(cc.pending, cb)
+}
+
+// Get issues a GET.
+func (c *Client) Get(path string, cb func(*Response, error)) { c.Do("GET", path, nil, cb) }
+
+// Post issues a POST.
+func (c *Client) Post(path string, body []byte, cb func(*Response, error)) {
+	c.Do("POST", path, body, cb)
+}
+
+// Put issues a PUT.
+func (c *Client) Put(path string, body []byte, cb func(*Response, error)) {
+	c.Do("PUT", path, body, cb)
+}
+
+// Delete issues a DELETE.
+func (c *Client) Delete(path string, cb func(*Response, error)) { c.Do("DELETE", path, nil, cb) }
+
+// Close closes the pool; outstanding requests fail with ErrClientClosed.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, cc := range c.conns {
+		cc.conn.Close()
+	}
+}

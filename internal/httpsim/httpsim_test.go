@@ -1,0 +1,338 @@
+package httpsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simnet"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func fastNet(seed int64) *simnet.Network {
+	return simnet.New(simnet.Config{Seed: seed, MinLatency: 200 * time.Microsecond, MaxLatency: 800 * time.Microsecond})
+}
+
+// env sets up a server with routes and a connected client.
+func env(t *testing.T, poolSize int, setup func(s *Server), fn func(l *eventloop.Loop, c *Client, done func())) {
+	t.Helper()
+	l := eventloop.New(eventloop.Options{})
+	net := fastNet(7)
+	defer net.Close()
+	srv, err := NewServer(l, net, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(srv)
+	NewClient(l, net, "api", poolSize, func(c *Client, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		fn(l, c, func() {
+			c.Close()
+			srv.Close()
+		})
+	})
+	runLoop(t, l)
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	env(t, 1, func(s *Server) {
+		s.Handle("GET", "/hello", func(w *ResponseWriter, r *Request) {
+			w.SetHeader("X-Served-By", "nodefz")
+			w.Text(StatusOK, "world")
+		})
+	}, func(l *eventloop.Loop, c *Client, done func()) {
+		c.Get("/hello", func(resp *Response, err error) {
+			if err != nil || resp.Status != StatusOK || string(resp.Body) != "world" {
+				t.Errorf("resp = %+v, %v", resp, err)
+			}
+			if resp.Header["X-Served-By"] != "nodefz" {
+				t.Errorf("header missing: %v", resp.Header)
+			}
+			done()
+		})
+	})
+}
+
+func TestPostBodyEcho(t *testing.T) {
+	payload := []byte("some\r\npayload with\r\n\r\nCRLFs")
+	env(t, 1, func(s *Server) {
+		s.Handle("POST", "/echo", func(w *ResponseWriter, r *Request) {
+			w.End(StatusCreated, r.Body)
+		})
+	}, func(l *eventloop.Loop, c *Client, done func()) {
+		c.Post("/echo", payload, func(resp *Response, err error) {
+			if err != nil || resp.Status != StatusCreated || !bytes.Equal(resp.Body, payload) {
+				t.Errorf("resp = %+v, %v", resp, err)
+			}
+			done()
+		})
+	})
+}
+
+func TestRouting(t *testing.T) {
+	env(t, 1, func(s *Server) {
+		s.Handle("GET", "/a", func(w *ResponseWriter, r *Request) { w.Text(StatusOK, "exact") })
+		s.Handle("GET", "/files/*", func(w *ResponseWriter, r *Request) { w.Text(StatusOK, "prefix:"+r.Path) })
+	}, func(l *eventloop.Loop, c *Client, done func()) {
+		c.Get("/a", func(resp *Response, err error) {
+			if string(resp.Body) != "exact" {
+				t.Errorf("exact route: %+v", resp)
+			}
+			c.Get("/files/x/y", func(resp *Response, err error) {
+				if string(resp.Body) != "prefix:/files/x/y" {
+					t.Errorf("prefix route: %+v", resp)
+				}
+				c.Get("/missing", func(resp *Response, err error) {
+					if resp.Status != StatusNotFound {
+						t.Errorf("missing route status = %d", resp.Status)
+					}
+					c.Post("/a", nil, func(resp *Response, err error) {
+						if resp.Status != StatusMethodNotAllowed {
+							t.Errorf("wrong-method status = %d", resp.Status)
+						}
+						done()
+					})
+				})
+			})
+		})
+	})
+}
+
+func TestAsyncHandlerResponds(t *testing.T) {
+	env(t, 1, func(s *Server) {
+		s.Handle("GET", "/slow", func(w *ResponseWriter, r *Request) {
+			// Partitioned response composition (§2.3): reply from a later
+			// callback.
+			w.SetHeader("X-Phase", "deferred")
+			// The loop variable is reachable through the writer's conn.
+		})
+	}, func(l *eventloop.Loop, c *Client, done func()) { done() })
+
+	// Full async variant with a timer:
+	l := eventloop.New(eventloop.Options{})
+	net := fastNet(9)
+	defer net.Close()
+	srv, err := NewServer(l, net, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle("GET", "/slow", func(w *ResponseWriter, r *Request) {
+		l.SetTimeout(2*time.Millisecond, func() { w.Text(StatusOK, "late") })
+	})
+	NewClient(l, net, "api", 1, func(c *Client, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		c.Get("/slow", func(resp *Response, err error) {
+			if err != nil || string(resp.Body) != "late" {
+				t.Errorf("resp = %+v, %v", resp, err)
+			}
+			c.Close()
+			srv.Close()
+		})
+	})
+	runLoop(t, l)
+}
+
+func TestDoubleEndIsDropped(t *testing.T) {
+	env(t, 1, func(s *Server) {
+		s.Handle("GET", "/twice", func(w *ResponseWriter, r *Request) {
+			w.Text(StatusOK, "first")
+			w.Text(StatusInternalServerError, "second") // must be ignored
+			if !w.Sent() {
+				t.Error("writer does not report sent")
+			}
+		})
+	}, func(l *eventloop.Loop, c *Client, done func()) {
+		c.Get("/twice", func(resp *Response, err error) {
+			if resp.Status != StatusOK || string(resp.Body) != "first" {
+				t.Errorf("resp = %+v", resp)
+			}
+			done()
+		})
+	})
+}
+
+func TestKeepAliveSequentialRequests(t *testing.T) {
+	env(t, 1, func(s *Server) {
+		n := 0
+		s.Handle("GET", "/n", func(w *ResponseWriter, r *Request) {
+			n++
+			w.Text(StatusOK, fmt.Sprintf("%d", n))
+		})
+	}, func(l *eventloop.Loop, c *Client, done func()) {
+		var got []string
+		for i := 0; i < 3; i++ {
+			c.Get("/n", func(resp *Response, err error) {
+				got = append(got, string(resp.Body))
+				if len(got) == 3 {
+					// One connection: responses in request order.
+					if got[0] != "1" || got[1] != "2" || got[2] != "3" {
+						t.Errorf("got %v", got)
+					}
+					done()
+				}
+			})
+		}
+	})
+}
+
+func TestClientClosedRequestsFail(t *testing.T) {
+	env(t, 1, func(s *Server) {}, func(l *eventloop.Loop, c *Client, done func()) {
+		done() // close first
+		c.Get("/x", func(resp *Response, err error) {
+			if !errors.Is(err, ErrClientClosed) {
+				t.Errorf("err = %v", err)
+			}
+		})
+	})
+}
+
+func TestServerCloseRefusesNewConns(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	net := fastNet(11)
+	defer net.Close()
+	srv, err := NewServer(l, net, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	gotErr := false
+	NewClient(l, net, "api", 1, func(c *Client, err error) {
+		gotErr = err != nil
+	})
+	runLoop(t, l)
+	if !gotErr {
+		t.Fatal("dial to closed server succeeded")
+	}
+}
+
+func TestMarshalParseRoundTripQuick(t *testing.T) {
+	f := func(method byte, path []byte, hk, hv byte, body []byte) bool {
+		m := "M" + string('A'+method%26)
+		p := "/" + sanitizeToken(path)
+		req := &Request{
+			Method: m,
+			Path:   p,
+			Header: map[string]string{
+				"X-" + string('A'+hk%26): string('a' + hv%26),
+			},
+			Body: body,
+		}
+		back, err := parseRequest(marshalRequest(req))
+		if err != nil {
+			return false
+		}
+		return back.Method == m && back.Path == p && bytes.Equal(back.Body, body) &&
+			back.Header["X-"+string('A'+hk%26)] == string('a'+hv%26)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeToken(b []byte) string {
+	out := make([]byte, 0, len(b))
+	for _, c := range b {
+		if c > ' ' && c < 127 {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("not http"),
+		[]byte("GET /\r\n\r\n"), // missing version
+		[]byte("GET / HTTP/1.1\r\nNoColonHeader\r\n\r\n"),                 // bad header
+		[]byte("GET / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),       // wrong length
+		[]byte("HTTP/1.1 abc Bad\r\n\r\n"),                                // for responses below
+		[]byte("GET  HTTP/1.1\r\n\r\n"),                                   // missing path
+		[]byte("GET nopath HTTP/1.1\r\nContent-Length: 0\r\n\r\n"),        // path without slash
+		[]byte("GET / HTTP/1.1 extra words\r\nContent-Length: 0\r\n\r\n"), // extra tokens
+	} {
+		if _, err := parseRequest(bad); err == nil {
+			t.Errorf("parseRequest accepted %q", bad)
+		}
+	}
+	if _, err := parseResponse([]byte("HTTP/1.1 abc Bad\r\nContent-Length: 0\r\n\r\n")); err == nil {
+		t.Error("parseResponse accepted a non-numeric status")
+	}
+	if _, err := parseResponse([]byte("junk\r\nContent-Length: 0\r\n\r\n")); err == nil {
+		t.Error("parseResponse accepted a junk status line")
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	if StatusText(StatusOK) != "OK" || StatusText(777) == "" {
+		t.Fatal("StatusText broken")
+	}
+}
+
+// TestPooledClientUnderFuzzer: many concurrent requests over a pool under
+// the fuzzing scheduler; every request gets exactly one response.
+func TestPooledClientUnderFuzzer(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		l := eventloop.New(eventloop.Options{
+			Scheduler: core.NewScheduler(core.StandardParams(), seed),
+		})
+		net := fastNet(seed)
+		srv, err := NewServer(l, net, "api")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Handle("GET", "/work/*", func(w *ResponseWriter, r *Request) {
+			l.SetImmediate(func() { w.Text(StatusOK, r.Path) })
+		})
+		const n = 12
+		responses := 0
+		NewClient(l, net, "api", 3, func(c *Client, err error) {
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				path := fmt.Sprintf("/work/%d", i)
+				c.Get(path, func(resp *Response, err error) {
+					if err == nil && string(resp.Body) == path {
+						responses++
+					}
+					if responses == n {
+						c.Close()
+						srv.Close()
+					}
+				})
+			}
+		})
+		runLoop(t, l)
+		net.Close()
+		if responses != n {
+			t.Fatalf("seed %d: %d/%d responses", seed, responses, n)
+		}
+	}
+}

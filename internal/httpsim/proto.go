@@ -1,0 +1,157 @@
+// Package httpsim is a small HTTP/1.x-flavoured request/response layer over
+// simnet: the application protocol the paper's subjects (web servers,
+// REST APIs, proxies) actually speak. One simnet message frames one
+// complete request or response; connections are keep-alive and serve
+// requests sequentially, and a client distributes concurrent requests over
+// a connection pool — which is exactly the arrival-order nondeterminism of
+// §4.2.1.
+package httpsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Common status codes.
+const (
+	StatusOK                  = 200
+	StatusCreated             = 201
+	StatusNoContent           = 204
+	StatusBadRequest          = 400
+	StatusNotFound            = 404
+	StatusMethodNotAllowed    = 405
+	StatusConflict            = 409
+	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
+)
+
+var statusText = map[int]string{
+	StatusOK:                  "OK",
+	StatusCreated:             "Created",
+	StatusNoContent:           "No Content",
+	StatusBadRequest:          "Bad Request",
+	StatusNotFound:            "Not Found",
+	StatusMethodNotAllowed:    "Method Not Allowed",
+	StatusConflict:            "Conflict",
+	StatusInternalServerError: "Internal Server Error",
+	StatusServiceUnavailable:  "Service Unavailable",
+}
+
+// StatusText returns the reason phrase for a status code.
+func StatusText(code int) string {
+	if s, ok := statusText[code]; ok {
+		return s
+	}
+	return "Status " + strconv.Itoa(code)
+}
+
+// ErrMalformed reports an unparsable frame.
+var ErrMalformed = errors.New("httpsim: malformed message")
+
+// Request is one HTTP request.
+type Request struct {
+	Method string
+	Path   string
+	Header map[string]string
+	Body   []byte
+}
+
+// Response is one HTTP response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+func writeHeaders(b *strings.Builder, h map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s: %s\r\n", k, h[k])
+	}
+	fmt.Fprintf(b, "Content-Length: %d\r\n\r\n", bodyLen)
+}
+
+// marshalRequest frames a request.
+func marshalRequest(r *Request) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.Path)
+	writeHeaders(&b, r.Header, len(r.Body))
+	return append([]byte(b.String()), r.Body...)
+}
+
+// marshalResponse frames a response.
+func marshalResponse(r *Response) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, StatusText(r.Status))
+	writeHeaders(&b, r.Header, len(r.Body))
+	return append([]byte(b.String()), r.Body...)
+}
+
+// splitFrame separates the header block from the body and parses headers.
+func splitFrame(msg []byte) (firstLine string, header map[string]string, body []byte, err error) {
+	s := string(msg)
+	sep := strings.Index(s, "\r\n\r\n")
+	if sep < 0 {
+		return "", nil, nil, ErrMalformed
+	}
+	head := s[:sep]
+	body = msg[sep+4:]
+	lines := strings.Split(head, "\r\n")
+	if len(lines) == 0 {
+		return "", nil, nil, ErrMalformed
+	}
+	firstLine = lines[0]
+	header = make(map[string]string, len(lines)-1)
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return "", nil, nil, ErrMalformed
+		}
+		header[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if clen, ok := header["Content-Length"]; ok {
+		n, err := strconv.Atoi(clen)
+		if err != nil || n != len(body) {
+			return "", nil, nil, ErrMalformed
+		}
+		delete(header, "Content-Length")
+	}
+	return firstLine, header, body, nil
+}
+
+// parseRequest parses a framed request.
+func parseRequest(msg []byte) (*Request, error) {
+	first, header, body, err := splitFrame(msg)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(first, " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") || parts[0] == "" || !strings.HasPrefix(parts[1], "/") {
+		return nil, ErrMalformed
+	}
+	return &Request{Method: parts[0], Path: parts[1], Header: header, Body: body}, nil
+}
+
+// parseResponse parses a framed response.
+func parseResponse(msg []byte) (*Response, error) {
+	first, header, body, err := splitFrame(msg)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(first, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, ErrMalformed
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, ErrMalformed
+	}
+	return &Response{Status: status, Header: header, Body: body}, nil
+}

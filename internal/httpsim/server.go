@@ -1,0 +1,152 @@
+package httpsim
+
+import (
+	"strings"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simnet"
+)
+
+// Handler serves one request. It runs on the server's loop and must
+// eventually call exactly one of w.End / w.Text / w.Error — possibly from
+// a later callback (the whole point of the EDA: partition the response
+// composition, §2.3).
+type Handler func(w *ResponseWriter, r *Request)
+
+// ResponseWriter composes and sends one response.
+type ResponseWriter struct {
+	conn   *simnet.Conn
+	header map[string]string
+	sent   bool
+}
+
+// SetHeader sets a response header; ignored after the response is sent.
+func (w *ResponseWriter) SetHeader(k, v string) {
+	if !w.sent {
+		w.header[k] = v
+	}
+}
+
+// End sends the response. Subsequent calls are dropped (the double-respond
+// guard real frameworks have; COV bugs trip it).
+func (w *ResponseWriter) End(status int, body []byte) {
+	if w.sent {
+		return
+	}
+	w.sent = true
+	_ = w.conn.Send(marshalResponse(&Response{Status: status, Header: w.header, Body: body}))
+}
+
+// Text sends a text response.
+func (w *ResponseWriter) Text(status int, body string) { w.End(status, []byte(body)) }
+
+// Error sends a bare status.
+func (w *ResponseWriter) Error(status int) { w.End(status, nil) }
+
+// Sent reports whether a response has been sent.
+func (w *ResponseWriter) Sent() bool { return w.sent }
+
+type route struct {
+	method  string
+	pattern string // exact path, or prefix ending in "/*"
+	h       Handler
+}
+
+// Server is an HTTP server bound to a simnet address.
+type Server struct {
+	loop   *eventloop.Loop
+	ln     *simnet.Listener
+	routes []route
+
+	served int
+	conns  []*simnet.Conn
+	closed bool
+}
+
+// NewServer starts a server listening on addr.
+func NewServer(l *eventloop.Loop, net *simnet.Network, addr string) (*Server, error) {
+	s := &Server{loop: l}
+	ln, err := net.Listen(l, addr, s.accept)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return s, nil
+}
+
+// Handle registers a handler for method and pattern. A pattern ending in
+// "/*" matches any path under the prefix; otherwise the match is exact.
+// Routes are tried in registration order.
+func (s *Server) Handle(method, pattern string, h Handler) {
+	s.routes = append(s.routes, route{method: method, pattern: pattern, h: h})
+}
+
+// Served reports the number of requests dispatched to handlers.
+func (s *Server) Served() int { return s.served }
+
+// Close stops accepting and closes the server's open connections.
+func (s *Server) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.ln.Close(nil)
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+}
+
+func (s *Server) accept(c *simnet.Conn) {
+	if s.closed {
+		c.Close()
+		return
+	}
+	s.conns = append(s.conns, c)
+	c.OnClose(func() {
+		for i, e := range s.conns {
+			if e == c {
+				s.conns = append(s.conns[:i:i], s.conns[i+1:]...)
+				break
+			}
+		}
+	})
+	c.OnData(func(msg []byte) {
+		w := &ResponseWriter{conn: c, header: make(map[string]string)}
+		req, err := parseRequest(msg)
+		if err != nil {
+			w.Error(StatusBadRequest)
+			return
+		}
+		s.served++
+		if h := s.match(req); h != nil {
+			h(w, req)
+			return
+		}
+		w.Error(StatusNotFound)
+	})
+}
+
+func (s *Server) match(r *Request) Handler {
+	pathMatched := false
+	for _, rt := range s.routes {
+		ok := false
+		if strings.HasSuffix(rt.pattern, "/*") {
+			prefix := strings.TrimSuffix(rt.pattern, "/*")
+			ok = strings.HasPrefix(r.Path, prefix+"/") || r.Path == prefix
+		} else {
+			ok = r.Path == rt.pattern
+		}
+		if !ok {
+			continue
+		}
+		pathMatched = true
+		if rt.method == r.Method {
+			return rt.h
+		}
+	}
+	if pathMatched {
+		return func(w *ResponseWriter, _ *Request) { w.Error(StatusMethodNotAllowed) }
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package kvstore is a Redis-like key/value service reached over simnet:
+// the back-end database the paper's subjects race on (GHO's user store,
+// KUE's Redis job states, MGS's MongoDB documents — §3.3.2 "races on
+// system resources").
+//
+// The server applies each request atomically in a single loop callback; the
+// nondeterminism lives in the wire (per-message latency) and in the
+// client's connection pool: consecutive commands issued by one client are
+// striped round-robin across pooled connections, so — exactly like
+// concurrent updates from a JavaScript driver — they may be *processed* in
+// either order even though they were *issued* in program order. That
+// reordering window is what the KUE/GHO/MGS bugs depend on.
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Supported operations.
+const (
+	OpGet     = "GET"
+	OpSet     = "SET"
+	OpSetNX   = "SETNX" // args: key, val, ttl-ms ("0" = no expiry)
+	OpDel     = "DEL"
+	OpIncr    = "INCR"
+	OpAppend  = "APPEND"
+	OpExists  = "EXISTS"
+	OpHSet    = "HSET"
+	OpHGet    = "HGET"
+	OpHDel    = "HDEL"
+	OpHGetAll = "HGETALL"
+	OpHLen    = "HLEN"
+	OpLPush   = "LPUSH"
+	OpRPush   = "RPUSH"
+	OpLPop    = "LPOP"
+	OpLLen    = "LLEN"
+	OpLRange  = "LRANGE" // args: key, start, stop (inclusive, negatives from end)
+	OpPing    = "PING"
+)
+
+// request is the wire format client -> server.
+type request struct {
+	ID   uint64   `json:"id"`
+	Op   string   `json:"op"`
+	Args []string `json:"args"`
+}
+
+// response is the wire format server -> client.
+type response struct {
+	ID  uint64 `json:"id"`
+	Val string `json:"val"`
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}
+
+func encode(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// The wire types marshal unconditionally; failure is a programming
+		// error.
+		panic(fmt.Sprintf("kvstore: marshal: %v", err))
+	}
+	return b
+}
+
+// Reply is the client-visible outcome of a command.
+type Reply struct {
+	// Val is the value payload (HGETALL encodes its map as JSON).
+	Val string
+	// OK is op-specific: key existed (GET/EXISTS/HGET), lock acquired
+	// (SETNX), field was new (HSET), ...
+	OK bool
+	// Err is a transport or server error.
+	Err error
+}
+
+// ErrClientClosed is reported for commands issued after Client.Close.
+var ErrClientClosed = errors.New("kvstore: client closed")
+
+// DecodeMap decodes an HGETALL reply value.
+func DecodeMap(val string) (map[string]string, error) {
+	m := make(map[string]string)
+	if val == "" {
+		return m, nil
+	}
+	if err := json.Unmarshal([]byte(val), &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeList decodes an LRANGE reply value.
+func DecodeList(val string) ([]string, error) {
+	var out []string
+	if val == "" {
+		return out, nil
+	}
+	if err := json.Unmarshal([]byte(val), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simnet"
+)
+
+func TestWorkModelDelaysReplies(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	net := simnet.New(simnet.Config{Seed: 1, MinLatency: 100 * time.Microsecond, MaxLatency: 200 * time.Microsecond})
+	defer net.Close()
+	srv, err := NewServer(l, net, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const work = 10 * time.Millisecond
+	srv.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == OpGet {
+			return work
+		}
+		return 0
+	})
+	var getElapsed, setElapsed time.Duration
+	NewClient(l, net, "db", 1, func(c *Client, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		setStart := time.Now()
+		c.Set("k", "v", func(error) {
+			setElapsed = time.Since(setStart)
+			getStart := time.Now()
+			c.Get("k", func(string, bool, error) {
+				getElapsed = time.Since(getStart)
+				c.Close()
+				srv.Close()
+			})
+		})
+	})
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+	if getElapsed < work {
+		t.Errorf("GET took %v, want >= %v (work model)", getElapsed, work)
+	}
+	if setElapsed >= work {
+		t.Errorf("SET took %v, should not be delayed by the GET work model", setElapsed)
+	}
+}
+
+// TestWorkModelExpensiveQueryOvertaken shows the §3.2.2 hazard directly:
+// with a per-query cost model, the last *launched* query is not the last
+// *completed* one when it is cheap and the others are expensive.
+func TestWorkModelExpensiveQueryOvertaken(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	net := simnet.New(simnet.Config{Seed: 2, MinLatency: 100 * time.Microsecond, MaxLatency: 200 * time.Microsecond})
+	defer net.Close()
+	srv, err := NewServer(l, net, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetWorkModel(func(op string, args []string) time.Duration {
+		if op == OpGet && len(args) > 0 && args[0] == "slow" {
+			return 15 * time.Millisecond
+		}
+		return 0
+	})
+	var order []string
+	NewClient(l, net, "db", 2, func(c *Client, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		remaining := 2
+		fin := func(name string) func(string, bool, error) {
+			return func(string, bool, error) {
+				order = append(order, name)
+				remaining--
+				if remaining == 0 {
+					c.Close()
+					srv.Close()
+				}
+			}
+		}
+		c.Get("slow", fin("slow")) // launched first
+		c.Get("fast", fin("fast")) // launched second, completes first
+	})
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+	if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+		t.Fatalf("completion order = %v, want [fast slow]", order)
+	}
+}

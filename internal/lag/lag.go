@@ -1,0 +1,109 @@
+// Package lag measures event-loop delay, the server-side health metric
+// behind §5.2.3's "race against time": a timer's lateness is exactly the
+// loop's scheduling lag at its deadline. The Monitor samples lag with a
+// repeating timer (the technique of Node's monitorEventLoopDelay) and
+// keeps a reservoir of samples for quantile queries.
+//
+// Under the fuzzer, lag also quantifies perturbation: the injected
+// deferral delays appear directly in the sampled distribution, which makes
+// Monitor a handy sanity check that a parameterization is actually
+// perturbing a workload.
+package lag
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+// Monitor samples event-loop delay on one loop. Create with New, read with
+// Snapshot, stop with Stop. Loop-side only.
+type Monitor struct {
+	loop     *eventloop.Loop
+	interval time.Duration
+	timer    *eventloop.Timer
+	expected time.Time
+	samples  []time.Duration
+	maxKeep  int
+	stopped  bool
+}
+
+// New starts sampling: every interval, the monitor measures how late its
+// timer fired — the loop's current scheduling delay. maxSamples bounds
+// memory (oldest samples are discarded); <= 0 keeps 4096.
+func New(l *eventloop.Loop, interval time.Duration, maxSamples int) *Monitor {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	if maxSamples <= 0 {
+		maxSamples = 4096
+	}
+	m := &Monitor{loop: l, interval: interval, maxKeep: maxSamples}
+	m.expected = time.Now().Add(interval)
+	m.timer = l.SetIntervalNamed("lag-probe", interval, m.sample)
+	// The probe must never keep an otherwise-finished program alive.
+	m.timer.Unref()
+	return m
+}
+
+func (m *Monitor) sample() {
+	now := time.Now()
+	lag := now.Sub(m.expected)
+	if lag < 0 {
+		lag = 0
+	}
+	m.expected = now.Add(m.interval)
+	m.samples = append(m.samples, lag)
+	if len(m.samples) > m.maxKeep {
+		m.samples = m.samples[len(m.samples)-m.maxKeep:]
+	}
+}
+
+// Stop ends sampling.
+func (m *Monitor) Stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.timer.Stop()
+}
+
+// Snapshot summarizes the samples collected so far.
+func (m *Monitor) Snapshot() Snapshot {
+	s := Snapshot{Count: len(m.samples)}
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), m.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, v := range sorted {
+		total += v
+	}
+	s.Mean = total / time.Duration(s.Count)
+	s.P50 = sorted[s.Count/2]
+	s.P99 = sorted[(s.Count*99)/100]
+	s.Max = sorted[s.Count-1]
+	return s
+}
+
+// Snapshot is a summary of loop-delay samples.
+type Snapshot struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the snapshot.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("lag over %d samples: mean %v, p50 %v, p99 %v, max %v",
+		s.Count,
+		s.Mean.Round(10*time.Microsecond),
+		s.P50.Round(10*time.Microsecond),
+		s.P99.Round(10*time.Microsecond),
+		s.Max.Round(10*time.Microsecond))
+}

@@ -1,0 +1,145 @@
+package lag
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func busyCallback(d time.Duration) func() {
+	return func() {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+	}
+}
+
+func TestMonitorCollectsSamples(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	m := New(l, 2*time.Millisecond, 0)
+	l.SetTimeout(25*time.Millisecond, func() { m.Stop() })
+	runLoop(t, l)
+	snap := m.Snapshot()
+	if snap.Count < 3 {
+		t.Fatalf("only %d samples", snap.Count)
+	}
+	if snap.Max < snap.P99 || snap.P99 < snap.P50 {
+		t.Fatalf("quantiles inconsistent: %+v", snap)
+	}
+	if !strings.Contains(snap.String(), "samples") {
+		t.Error("String malformed")
+	}
+}
+
+func TestMonitorUnrefDoesNotKeepLoopAlive(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	_ = New(l, 2*time.Millisecond, 0)
+	l.SetTimeout(3*time.Millisecond, func() {})
+	runLoop(t, l) // would hang if the probe ref'd the loop
+}
+
+func TestBusyLoopRaisesLag(t *testing.T) {
+	idle := func() Snapshot {
+		l := eventloop.New(eventloop.Options{})
+		m := New(l, 2*time.Millisecond, 0)
+		l.SetTimeout(30*time.Millisecond, func() { m.Stop() })
+		runLoop(t, l)
+		return m.Snapshot()
+	}()
+
+	busy := func() Snapshot {
+		l := eventloop.New(eventloop.Options{})
+		m := New(l, 2*time.Millisecond, 0)
+		// Saturate the loop with chunky callbacks.
+		var spin func()
+		stop := time.Now().Add(30 * time.Millisecond)
+		spin = func() {
+			busyCallback(4 * time.Millisecond)()
+			if time.Now().Before(stop) {
+				l.SetImmediate(spin)
+			} else {
+				m.Stop()
+			}
+		}
+		l.SetImmediate(spin)
+		runLoop(t, l)
+		return m.Snapshot()
+	}()
+
+	if busy.Count == 0 || idle.Count == 0 {
+		t.Fatalf("counts: idle=%d busy=%d", idle.Count, busy.Count)
+	}
+	if busy.Max <= idle.P50 {
+		t.Fatalf("busy max lag %v not above idle p50 %v", busy.Max, idle.P50)
+	}
+}
+
+func TestFuzzerDelaysShowUpAsLag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical")
+	}
+	measure := func(s eventloop.Scheduler) time.Duration {
+		l := eventloop.New(eventloop.Options{Scheduler: s})
+		m := New(l, 2*time.Millisecond, 0)
+		// Give the fuzzer timers to defer (each deferral injects 5ms).
+		n := 0
+		var tick *eventloop.Timer
+		tick = l.SetInterval(2*time.Millisecond, func() {
+			n++
+			if n >= 25 {
+				tick.Stop()
+				m.Stop()
+			}
+		})
+		runLoop(t, l)
+		return m.Snapshot().Max
+	}
+	vanilla := measure(eventloop.VanillaScheduler{})
+	worst := vanilla
+	for seed := int64(0); seed < 3; seed++ {
+		if fz := measure(core.NewScheduler(core.StandardParams(), seed)); fz > worst {
+			worst = fz
+		}
+	}
+	if worst < vanilla+3*time.Millisecond {
+		t.Fatalf("fuzzer max lag %v not visibly above vanilla %v", worst, vanilla)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	m := New(l, time.Millisecond, 2)
+	m.Stop()
+	m.Stop() // idempotent
+	if snap := m.Snapshot(); snap.Count != 0 || snap.Mean != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	runLoop(t, l)
+}
+
+func TestSampleCapRespected(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	m := New(l, time.Millisecond, 5)
+	l.SetTimeout(30*time.Millisecond, func() { m.Stop() })
+	runLoop(t, l)
+	if m.Snapshot().Count > 5 {
+		t.Fatalf("kept %d samples, cap 5", m.Snapshot().Count)
+	}
+}

@@ -1,0 +1,144 @@
+// Package loadgen generates closed-loop HTTP client workloads against an
+// httpsim server and reports throughput and latency quantiles. The
+// evaluation uses it to measure runtime overhead on server-shaped traffic
+// (the §5.4 question asked of a live system rather than a test suite), and
+// examples use it to put realistic load on their servers.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/httpsim"
+	"nodefz/internal/simnet"
+)
+
+// Config shapes a workload.
+type Config struct {
+	// Seed drives think-time jitter and path selection.
+	Seed int64
+	// Clients is the number of concurrent closed-loop clients (each with
+	// its own connection). Default 4.
+	Clients int
+	// RequestsPerClient is how many requests each client issues in
+	// sequence. Default 10.
+	RequestsPerClient int
+	// ThinkTime is the mean pause between a response and the client's next
+	// request, jittered ±50%. Zero means back-to-back.
+	ThinkTime time.Duration
+	// Paths are requested round-robin per client; default ["/"].
+	Paths []string
+}
+
+func (c *Config) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 10
+	}
+	if len(c.Paths) == 0 {
+		c.Paths = []string{"/"}
+	}
+}
+
+// Result summarizes one workload execution.
+type Result struct {
+	Requests  int
+	Errors    int
+	Elapsed   time.Duration
+	latencies []time.Duration
+}
+
+// Throughput is requests per second over the workload's lifetime.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Quantile returns the q-th (0..1) latency quantile; zero with no samples.
+func (r Result) Quantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%d requests (%d errors) in %v — %.0f req/s, p50 %v, p95 %v",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput(),
+		r.Quantile(0.50).Round(100*time.Microsecond),
+		r.Quantile(0.95).Round(100*time.Microsecond))
+}
+
+// Run drives the workload against addr on the given loop; done runs on the
+// loop with the result once every client has finished. Must be called from
+// the loop (or before Run).
+func Run(l *eventloop.Loop, net *simnet.Network, addr string, cfg Config, done func(Result)) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+	start := time.Now()
+	remainingClients := cfg.Clients
+
+	clientDone := func() {
+		remainingClients--
+		if remainingClients == 0 {
+			res.Elapsed = time.Since(start)
+			done(*res)
+		}
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		httpsim.NewClient(l, net, addr, 1, func(hc *httpsim.Client, err error) {
+			if err != nil {
+				res.Errors++
+				clientDone()
+				return
+			}
+			issued := 0
+			var next func()
+			next = func() {
+				if issued == cfg.RequestsPerClient {
+					hc.Close()
+					clientDone()
+					return
+				}
+				path := cfg.Paths[(c+issued)%len(cfg.Paths)]
+				issued++
+				reqStart := time.Now()
+				hc.Get(path, func(resp *httpsim.Response, err error) {
+					res.Requests++
+					if err != nil || resp.Status >= 400 {
+						res.Errors++
+					}
+					res.latencies = append(res.latencies, time.Since(reqStart))
+					if cfg.ThinkTime <= 0 {
+						next()
+						return
+					}
+					half := int64(cfg.ThinkTime / 2)
+					pause := cfg.ThinkTime/2 + time.Duration(rng.Int63n(2*half+1))
+					l.SetTimeoutNamed("think", pause, next)
+				})
+			}
+			next()
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/httpsim"
+	"nodefz/internal/simnet"
+)
+
+// serve starts a small API and runs the workload against it.
+func serve(t *testing.T, sched eventloop.Scheduler, cfg Config) Result {
+	t.Helper()
+	l := eventloop.New(eventloop.Options{Scheduler: sched})
+	net := simnet.New(simnet.Config{Seed: cfg.Seed, MinLatency: 300 * time.Microsecond, MaxLatency: time.Millisecond})
+	defer net.Close()
+	srv, err := httpsim.NewServer(l, net, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle("GET", "/", func(w *httpsim.ResponseWriter, r *httpsim.Request) {
+		w.Text(httpsim.StatusOK, "ok")
+	})
+	srv.Handle("GET", "/compute", func(w *httpsim.ResponseWriter, r *httpsim.Request) {
+		l.QueueWork("compute", func() (any, error) {
+			time.Sleep(300 * time.Microsecond)
+			return "42", nil
+		}, func(res any, err error) {
+			w.Text(httpsim.StatusOK, res.(string))
+		})
+	})
+	var out Result
+	Run(l, net, "api", cfg, func(r Result) {
+		out = r
+		srv.Close()
+	})
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("workload did not finish")
+	}
+	return out
+}
+
+func TestWorkloadCompletesAllRequests(t *testing.T) {
+	cfg := Config{Seed: 1, Clients: 3, RequestsPerClient: 5, Paths: []string{"/", "/compute"}}
+	res := serve(t, eventloop.VanillaScheduler{}, cfg)
+	if res.Requests != 15 {
+		t.Fatalf("requests = %d, want 15", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+	if res.Quantile(0.5) <= 0 || res.Quantile(0.95) < res.Quantile(0.5) {
+		t.Fatalf("quantiles inconsistent: p50=%v p95=%v", res.Quantile(0.5), res.Quantile(0.95))
+	}
+	if !strings.Contains(res.String(), "req/s") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestWorkloadWithThinkTime(t *testing.T) {
+	cfg := Config{Seed: 2, Clients: 2, RequestsPerClient: 3, ThinkTime: 2 * time.Millisecond}
+	res := serve(t, eventloop.VanillaScheduler{}, cfg)
+	if res.Requests != 6 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d", res.Requests, res.Errors)
+	}
+	// 2 think pauses per client at >=1ms each.
+	if res.Elapsed < 2*time.Millisecond {
+		t.Fatalf("elapsed %v implausibly short for think time", res.Elapsed)
+	}
+}
+
+func TestWorkloadUnderFuzzer(t *testing.T) {
+	cfg := Config{Seed: 3, Clients: 3, RequestsPerClient: 4, Paths: []string{"/", "/compute"}}
+	res := serve(t, core.NewScheduler(core.StandardParams(), 3), cfg)
+	if res.Requests != 12 || res.Errors != 0 {
+		t.Fatalf("under fuzzing: requests=%d errors=%d", res.Requests, res.Errors)
+	}
+}
+
+func TestWorkloadRefusedServer(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	net := simnet.New(simnet.Config{Seed: 4, MinLatency: 300 * time.Microsecond, MaxLatency: time.Millisecond})
+	defer net.Close()
+	var out Result
+	Run(l, net, "nowhere", Config{Clients: 2, RequestsPerClient: 3}, func(r Result) { out = r })
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("hang")
+	}
+	if out.Errors != 2 || out.Requests != 0 {
+		t.Fatalf("refused: %+v", out)
+	}
+}
+
+func TestResultQuantileEdges(t *testing.T) {
+	var r Result
+	if r.Quantile(0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+	r.latencies = []time.Duration{3, 1, 2}
+	if r.Quantile(0) != 1 || r.Quantile(1) != 3 {
+		t.Errorf("q0=%v q1=%v", r.Quantile(0), r.Quantile(1))
+	}
+	if (Result{}).Throughput() != 0 {
+		t.Error("empty throughput != 0")
+	}
+}
+
+// TestSoakUnderFuzzer is the long-lived-server check §3's third difference
+// motivates ("server-side programs are much longer-lived ... thousands or
+// millions of events"): a sustained closed-loop workload under the fuzzer,
+// hundreds of requests across thousands of loop events, zero errors.
+func TestSoakUnderFuzzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	l := eventloop.New(eventloop.Options{Scheduler: core.NewScheduler(core.StandardParams(), 99)})
+	net := simnet.New(simnet.Config{Seed: 99, MinLatency: 200 * time.Microsecond, MaxLatency: 800 * time.Microsecond})
+	defer net.Close()
+	srv, err := httpsim.NewServer(l, net, "api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	srv.Handle("GET", "/", func(w *httpsim.ResponseWriter, r *httpsim.Request) {
+		hits++
+		if hits%3 == 0 {
+			l.SetImmediate(func() { w.Text(httpsim.StatusOK, "deferred") })
+			return
+		}
+		w.Text(httpsim.StatusOK, "ok")
+	})
+	var out Result
+	Run(l, net, "api", Config{Seed: 99, Clients: 6, RequestsPerClient: 60}, func(r Result) {
+		out = r
+		srv.Close()
+	})
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("soak did not finish")
+	}
+	if out.Requests != 360 || out.Errors != 0 {
+		t.Fatalf("soak: %+v", out)
+	}
+	if st := l.Stats(); st.Callbacks < 700 {
+		t.Fatalf("soak exercised only %d callbacks", st.Callbacks)
+	}
+}

@@ -1,0 +1,304 @@
+// Package pool implements the libuv-style worker pool: a task queue consumed
+// by worker goroutines, each completed task landing on a done queue whose
+// completion callback runs on the event loop (paper §2.2, §4.2.3).
+//
+// Two behaviours matter for schedule fuzzing (§4.3.3):
+//
+//   - Task pick order. Stock libuv workers take tasks FIFO; the fuzzer
+//     simulates multiple workers by looking ahead "degrees of freedom" tasks
+//     and picking one at random, optionally waiting for the queue to fill.
+//   - Done-queue (de)multiplexing. Stock libuv signals completion through a
+//     single file descriptor, so one loop wakeup drains *every* completed
+//     task consecutively. The fuzzer assigns each task its own pollable
+//     completion event so done callbacks interleave with everything else.
+//
+// The pool is loop-agnostic: completion events are handed to a Post function
+// supplied by the owner, and scheduling decisions are delegated to a Picker
+// (implemented by the nodefz scheduler).
+package pool
+
+import (
+	"sync"
+	"time"
+)
+
+// Task is one unit of work offloaded to the pool, like a libuv uv_work_t:
+// Fn runs on a worker goroutine, Done runs on the event loop afterwards.
+type Task struct {
+	// Name labels the task in schedules and scheduler decisions.
+	Name string
+	// Fn is the work function, executed on a worker goroutine.
+	Fn func() (any, error)
+	// Done is the completion callback, executed on the event loop with Fn's
+	// results. May be nil.
+	Done func(result any, err error)
+
+	result any
+	err    error
+}
+
+// Picker supplies the worker-side scheduling decisions. The nodefz scheduler
+// implements it; vanilla behaviour is FIFO with no waiting.
+type Picker interface {
+	// PickTask selects among the first n queued tasks; 0 <= PickTask(n) < n.
+	PickTask(n int) int
+	// WaitPolicy returns the lookahead degrees of freedom (<0 unlimited),
+	// the total maximum wait for the queue to fill, and the maximum time the
+	// event loop may be left sitting in its poll phase meanwhile.
+	WaitPolicy() (dof int, maxDelay, pollThreshold time.Duration)
+}
+
+// FIFOPicker is the vanilla policy: always take the head of the queue,
+// never wait.
+type FIFOPicker struct{}
+
+// PickTask implements Picker.
+func (FIFOPicker) PickTask(int) int { return 0 }
+
+// WaitPolicy implements Picker.
+func (FIFOPicker) WaitPolicy() (int, time.Duration, time.Duration) { return 1, 0, 0 }
+
+// Config assembles a Pool.
+type Config struct {
+	// Size is the number of worker goroutines. Must be >= 1.
+	Size int
+	// Picker supplies scheduling decisions; nil means FIFOPicker.
+	Picker Picker
+	// RunLock, when non-nil, is held around every task execution, and the
+	// owning loop holds it around every callback: the serialization step of
+	// §4.3.3. Nil means tasks run concurrently with loop callbacks.
+	RunLock sync.Locker
+	// Demux selects per-task completion events instead of the multiplexed
+	// done queue.
+	Demux bool
+	// Post delivers a ready completion callback to the event loop's poll
+	// phase. Required.
+	Post func(kind, label string, cb func())
+	// Record, when non-nil, is called as each task begins executing on a
+	// worker ("work" entries in the type schedule).
+	Record func(kind, label string)
+	// TimeInPoll reports how long the owning loop has been blocked in its
+	// poll phase (zero when it is not). Used for the "epoll threshold" wait
+	// limit. Nil means the limit is ignored.
+	TimeInPoll func() time.Duration
+}
+
+// Pool is a worker pool. Create with New, feed with Submit, and shut down
+// with Close.
+type Pool struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Task
+	doneq  []*Task // multiplexed done queue (Demux == false)
+	closed bool
+	wg     sync.WaitGroup
+
+	// stats, guarded by mu
+	executed int
+}
+
+// New starts the worker goroutines and returns the pool.
+func New(cfg Config) *Pool {
+	if cfg.Size < 1 {
+		cfg.Size = 1
+	}
+	if cfg.Picker == nil {
+		cfg.Picker = FIFOPicker{}
+	}
+	if cfg.Post == nil {
+		panic("pool: Config.Post is required")
+	}
+	p := &Pool{cfg: cfg}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(cfg.Size)
+	for i := 0; i < cfg.Size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit queues a task for execution. It is safe to call from any
+// goroutine. Tasks submitted while the pool is closed are buffered and run
+// after Restart — the loop-between-runs case.
+func (p *Pool) Submit(t *Task) {
+	p.mu.Lock()
+	p.queue = append(p.queue, t)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// QueueLen reports the number of tasks waiting to be executed.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Executed reports the total number of tasks that have begun execution.
+func (p *Pool) Executed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.executed
+}
+
+// Close stops the workers after the queue drains and waits for them to
+// exit. Completion events already posted to the loop are unaffected, and
+// Restart brings the pool back.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Restart re-spawns the workers of a closed pool; a no-op on a running
+// one. The owning loop calls it at the start of each Run so work queued
+// between runs executes.
+func (p *Pool) Restart() {
+	p.mu.Lock()
+	if !p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = false
+	p.mu.Unlock()
+	p.wg.Add(p.cfg.Size)
+	for i := 0; i < p.cfg.Size; i++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		t, ok := p.take()
+		if !ok {
+			return
+		}
+		if p.cfg.RunLock != nil {
+			p.cfg.RunLock.Lock()
+		}
+		if p.cfg.Record != nil {
+			p.cfg.Record("work", t.Name)
+		}
+		t.result, t.err = t.Fn()
+		if p.cfg.RunLock != nil {
+			p.cfg.RunLock.Unlock()
+		}
+		p.complete(t)
+	}
+}
+
+// take blocks until a task is available (honouring the Picker's wait
+// policy) and removes it from the queue. ok is false when the pool is
+// closed and drained.
+func (p *Pool) take() (t *Task, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 {
+		if p.closed {
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+
+	// Wait for the queue to fill up to the lookahead window (§4.3.4,
+	// "Scheduling the Worker Pool"), bounded by maxDelay and by how long the
+	// event loop has been idle in poll.
+	dof, maxDelay, pollThreshold := p.cfg.Picker.WaitPolicy()
+	if maxDelay > 0 && (dof < 0 || len(p.queue) < dof) {
+		deadline := time.Now().Add(maxDelay)
+		for !p.closed && (dof < 0 || len(p.queue) < dof) && time.Now().Before(deadline) {
+			if p.cfg.TimeInPoll != nil && pollThreshold > 0 && p.cfg.TimeInPoll() >= pollThreshold {
+				break
+			}
+			p.mu.Unlock()
+			time.Sleep(20 * time.Microsecond)
+			p.mu.Lock()
+			if len(p.queue) == 0 {
+				// Another worker drained the queue while we slept.
+				if p.closed {
+					return nil, false
+				}
+				return p.take2()
+			}
+		}
+	}
+
+	window := len(p.queue)
+	if dof > 0 && dof < window {
+		window = dof
+	}
+	i := 0
+	if window > 1 {
+		i = p.cfg.Picker.PickTask(window)
+		if i < 0 || i >= window {
+			i = 0
+		}
+	}
+	t = p.queue[i]
+	p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
+	p.executed++
+	return t, true
+}
+
+// take2 restarts take after losing the queue to a sibling worker. Split out
+// so take's defer unlocks exactly once.
+func (p *Pool) take2() (*Task, bool) {
+	for len(p.queue) == 0 {
+		if p.closed {
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+	t := p.queue[0]
+	p.queue = p.queue[1:]
+	p.executed++
+	return t, true
+}
+
+// complete routes the finished task to the loop: either as its own poll
+// event (demultiplexed) or through the shared done queue (multiplexed, the
+// stock libuv behaviour).
+func (p *Pool) complete(t *Task) {
+	if p.cfg.Demux {
+		p.cfg.Post("work-done", t.Name, func() {
+			if t.Done != nil {
+				t.Done(t.result, t.err)
+			}
+		})
+		return
+	}
+	p.mu.Lock()
+	p.doneq = append(p.doneq, t)
+	first := len(p.doneq) == 1
+	p.mu.Unlock()
+	if first {
+		// One wakeup drains the whole done queue: the multiplexing that
+		// §4.3.1 calls out as hostile to fuzzing. Every done callback that
+		// has accumulated by the time the loop handles this event runs
+		// consecutively, with nothing interleaved.
+		p.cfg.Post("work-done", "done-queue", p.drainDone)
+	}
+}
+
+// drainDone is the multiplexed done queue's poll-event callback.
+func (p *Pool) drainDone() {
+	for {
+		p.mu.Lock()
+		batch := p.doneq
+		p.doneq = nil
+		p.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		for _, t := range batch {
+			if t.Done != nil {
+				t.Done(t.result, t.err)
+			}
+		}
+	}
+}

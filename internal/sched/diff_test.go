@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a := []string{"timer", "net-read", "close"}
+	ops := Diff(a, a)
+	if DiffDistance(ops) != 0 {
+		t.Fatalf("distance = %d", DiffDistance(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != "same" {
+			t.Fatalf("op = %+v", op)
+		}
+	}
+}
+
+func TestDiffKinds(t *testing.T) {
+	a := []string{"timer", "net-read", "work-done"}
+	b := []string{"timer", "immediate", "work-done", "close"}
+	ops := Diff(a, b)
+	kinds := map[string]int{}
+	for _, op := range ops {
+		kinds[op.Kind]++
+	}
+	if kinds["sub"] != 1 || kinds["ins"] != 1 || kinds["same"] != 2 {
+		t.Fatalf("kinds = %v (ops %+v)", kinds, ops)
+	}
+	if DiffDistance(ops) != Levenshtein(a, b) {
+		t.Fatalf("distance %d != levenshtein %d", DiffDistance(ops), Levenshtein(a, b))
+	}
+}
+
+func TestDiffEmptySides(t *testing.T) {
+	a := []string{"x", "y"}
+	ops := Diff(a, nil)
+	if len(ops) != 2 || ops[0].Kind != "del" || ops[1].Kind != "del" {
+		t.Fatalf("ops = %+v", ops)
+	}
+	ops = Diff(nil, a)
+	if len(ops) != 2 || ops[0].Kind != "ins" {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if len(Diff(nil, nil)) != 0 {
+		t.Fatal("diff of empties not empty")
+	}
+}
+
+// TestDiffDistanceMatchesLevenshteinRandom: the script's cost always equals
+// the DP distance — the alignment is minimal.
+func TestDiffDistanceMatchesLevenshteinRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := randomSchedule(r, 25)
+		b := randomSchedule(r, 25)
+		ops := Diff(a, b)
+		if DiffDistance(ops) != Levenshtein(a, b) {
+			t.Fatalf("trial %d: script cost %d != levenshtein %d",
+				trial, DiffDistance(ops), Levenshtein(a, b))
+		}
+		// The script must actually transform a into b.
+		var rebuilt []string
+		for _, op := range ops {
+			if op.Kind == "same" || op.Kind == "sub" || op.Kind == "ins" {
+				rebuilt = append(rebuilt, op.B)
+			}
+		}
+		if len(rebuilt) != len(b) {
+			t.Fatalf("script rebuilds %d elements, want %d", len(rebuilt), len(b))
+		}
+		for i := range b {
+			if rebuilt[i] != b[i] {
+				t.Fatalf("script does not rebuild b at %d", i)
+			}
+		}
+	}
+}
+
+func TestFormatDiffElision(t *testing.T) {
+	var a, b []string
+	for i := 0; i < 30; i++ {
+		a = append(a, "timer")
+		b = append(b, "timer")
+	}
+	b[15] = "net-read"
+	out := FormatDiff(Diff(a, b), 2)
+	if !strings.Contains(out, "unchanged") {
+		t.Fatalf("no elision:\n%s", out)
+	}
+	if !strings.Contains(out, "~ timer -> net-read") {
+		t.Fatalf("missing substitution:\n%s", out)
+	}
+	// Negative context is clamped.
+	_ = FormatDiff(Diff(a, b), -1)
+}

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{nil, []string{"a", "b"}, 2},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "x", "c"}, 1},
+		{[]string{"a", "b"}, []string{"b", "a"}, 2},
+		{[]string{"timer", "net", "timer"}, []string{"net", "timer"}, 1},
+		{[]string{"k", "i", "t", "t", "e", "n"}, []string{"s", "i", "t", "t", "i", "n", "g"}, 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomSchedule builds a schedule over a small alphabet so collisions are
+// common, as in real type schedules.
+func randomSchedule(r *rand.Rand, maxLen int) []string {
+	alphabet := []string{"timer", "net-read", "work-done", "close", "immediate"}
+	n := r.Intn(maxLen)
+	s := make([]string, n)
+	for i := range s {
+		s[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return s
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := randomSchedule(r, 30)
+		b := randomSchedule(r, 30)
+		c := randomSchedule(r, 30)
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		if dab != dba {
+			t.Fatalf("not symmetric: d(a,b)=%d d(b,a)=%d", dab, dba)
+		}
+		if Levenshtein(a, a) != 0 {
+			t.Fatalf("d(a,a) != 0")
+		}
+		if dab == 0 && !reflect.DeepEqual(a, b) {
+			t.Fatalf("d=0 for unequal schedules %v %v", a, b)
+		}
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle inequality violated: d(a,b)=%d > %d+%d", dab, dac, dcb)
+		}
+	}
+}
+
+func TestLevenshteinBoundsQuick(t *testing.T) {
+	f := func(a, b []string) bool {
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		diff := len(a) - len(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if got := NormalizedLevenshtein(nil, nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	a := []string{"x", "y"}
+	b := []string{"p", "q", "r", "s"}
+	if got := NormalizedLevenshtein(a, a); got != 0 {
+		t.Errorf("identical = %v, want 0", got)
+	}
+	got := NormalizedLevenshtein(a, b)
+	if got <= 0 || got > 1 {
+		t.Errorf("NLD = %v, want in (0, 1]", got)
+	}
+	if got := NormalizedLevenshtein([]string{"a"}, []string{"b"}); got != 1 {
+		t.Errorf("disjoint singletons = %v, want 1", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := []string{"a", "b", "c"}
+	if got := Truncate(s, 2); len(got) != 2 {
+		t.Errorf("Truncate(3-elem, 2) len=%d", len(got))
+	}
+	if got := Truncate(s, 10); len(got) != 3 {
+		t.Errorf("Truncate(3-elem, 10) len=%d", len(got))
+	}
+	if got := Truncate(s, -1); len(got) != 3 {
+		t.Errorf("Truncate(3-elem, -1) len=%d", len(got))
+	}
+}
+
+func TestMeanPairwiseNLD(t *testing.T) {
+	if got := MeanPairwiseNLD(nil, -1); got != 0 {
+		t.Errorf("no schedules = %v, want 0", got)
+	}
+	same := [][]string{{"a", "b"}, {"a", "b"}, {"a", "b"}}
+	if got := MeanPairwiseNLD(same, -1); got != 0 {
+		t.Errorf("identical schedules = %v, want 0", got)
+	}
+	mixed := [][]string{{"a", "a"}, {"b", "b"}}
+	if got := MeanPairwiseNLD(mixed, -1); got != 1 {
+		t.Errorf("disjoint schedules = %v, want 1", got)
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Record("timer", "t1")
+	r.Record("net-read", "c1")
+	r.Record("timer", "t2")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	types := r.Types()
+	want := []string{"timer", "net-read", "timer"}
+	if !reflect.DeepEqual(types, want) {
+		t.Fatalf("Types = %v, want %v", types, want)
+	}
+	entries := r.Entries()
+	for i, e := range entries {
+		if e.Seq != i {
+			t.Errorf("entry %d has Seq %d", i, e.Seq)
+		}
+	}
+	hist := r.Histogram()
+	if len(hist) != 2 || hist[1].Kind != "timer" || hist[1].N != 2 {
+		t.Fatalf("Histogram = %v", hist)
+	}
+	if s := r.String(); !strings.Contains(s, "timer(t1)") {
+		t.Errorf("String = %q", s)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("k", "l")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}

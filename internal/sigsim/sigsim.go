@@ -1,0 +1,168 @@
+// Package sigsim simulates POSIX signal delivery and child processes for
+// event-driven programs: the remaining server-side nondeterminism sources
+// §4.2.1 lists ("Linux Node.js applications can spawn child processes,
+// send and receive UNIX signals").
+//
+// Signals surface on the owning loop as poll events ("signal" kind), so
+// the schedule fuzzer can defer and reorder them against other traffic —
+// legally, since POSIX makes no ordering promise between distinct signals.
+// Standard-signal semantics are preserved: a signal that is already
+// pending coalesces instead of queueing twice.
+package sigsim
+
+import (
+	"fmt"
+	"sync"
+
+	"nodefz/internal/emitter"
+	"nodefz/internal/eventloop"
+)
+
+// Signal names a simulated POSIX signal.
+type Signal string
+
+// The signals the simulator knows about. Any other Signal value works too;
+// these exist for readability.
+const (
+	SIGHUP  Signal = "SIGHUP"
+	SIGINT  Signal = "SIGINT"
+	SIGTERM Signal = "SIGTERM"
+	SIGUSR1 Signal = "SIGUSR1"
+	SIGUSR2 Signal = "SIGUSR2"
+	SIGCHLD Signal = "SIGCHLD"
+)
+
+// Process is the analogue of Node's `process` object: a signal-handler
+// registry bound to one loop, plus a child-process table.
+type Process struct {
+	loop *eventloop.Loop
+	src  *eventloop.Source
+	em   *emitter.Emitter
+
+	mu      sync.Mutex
+	pending map[Signal]bool
+	nextPID int
+	closed  bool
+}
+
+// NewProcess attaches a process abstraction to the loop. It holds a loop
+// reference until Close — like a program that listens for signals staying
+// alive.
+func NewProcess(l *eventloop.Loop) *Process {
+	return &Process{
+		loop:    l,
+		src:     l.NewSource("process"),
+		em:      emitter.New(),
+		pending: make(map[Signal]bool),
+		nextPID: 100,
+	}
+}
+
+// On registers a handler for sig; handlers run on the loop in registration
+// order (EventEmitter semantics).
+func (p *Process) On(sig Signal, fn func(Signal)) emitter.Subscription {
+	return p.em.On(string(sig), func(args ...any) { fn(sig) })
+}
+
+// Once registers a one-shot handler for sig.
+func (p *Process) Once(sig Signal, fn func(Signal)) emitter.Subscription {
+	return p.em.Once(string(sig), func(args ...any) { fn(sig) })
+}
+
+// Off removes a handler registration.
+func (p *Process) Off(sub emitter.Subscription) { p.em.Off(sub) }
+
+// Kill delivers sig to the process. Safe from any goroutine. Standard
+// POSIX coalescing applies: if sig is already pending (delivered but not
+// yet handled by the loop), this Kill is a no-op.
+func (p *Process) Kill(sig Signal) {
+	p.mu.Lock()
+	if p.closed || p.pending[sig] {
+		p.mu.Unlock()
+		return
+	}
+	p.pending[sig] = true
+	p.mu.Unlock()
+	p.src.Post("signal", string(sig), func() {
+		p.mu.Lock()
+		delete(p.pending, sig)
+		p.mu.Unlock()
+		p.em.Emit(string(sig), sig)
+	})
+}
+
+// Close detaches the process from the loop; undelivered signals are
+// dropped. cb (may be nil) runs in the loop's close phase.
+func (p *Process) Close(cb func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.src.Close(cb)
+}
+
+// Child is a spawned child process: its body runs on the worker pool; exit
+// is reported to the parent loop as an event, followed by SIGCHLD.
+type Child struct {
+	PID int
+
+	proc *Process
+	mu   sync.Mutex
+	kill bool
+	done bool
+}
+
+// Killed reports whether Kill was called; the child's body polls it to
+// honour termination, as a well-behaved subprocess honours SIGTERM.
+func (c *Child) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kill
+}
+
+// Kill requests termination. The body observes it via the killed()
+// closure; a body that never checks runs to completion, like a process
+// ignoring SIGTERM.
+func (c *Child) Kill() {
+	c.mu.Lock()
+	c.kill = true
+	c.mu.Unlock()
+}
+
+// Running reports whether the child has not yet exited.
+func (c *Child) Running() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.done
+}
+
+// Spawn starts a child whose body runs on the loop's worker pool. body
+// receives a killed() poll and returns the exit code. onExit runs on the
+// loop with that code, after which SIGCHLD is raised on the parent
+// process. Spawn is the §4.2.1 "child process" nondeterminism source: the
+// exit event competes with all other traffic for schedule order.
+func (p *Process) Spawn(name string, body func(killed func() bool) int, onExit func(code int)) *Child {
+	p.mu.Lock()
+	p.nextPID++
+	c := &Child{PID: p.nextPID, proc: p}
+	p.mu.Unlock()
+
+	p.loop.QueueWork(fmt.Sprintf("child:%s", name),
+		func() (any, error) {
+			return body(c.Killed), nil
+		},
+		func(res any, err error) {
+			code, _ := res.(int)
+			c.mu.Lock()
+			c.done = true
+			c.mu.Unlock()
+			if onExit != nil {
+				onExit(code)
+			}
+			p.Kill(SIGCHLD)
+		})
+	return c
+}

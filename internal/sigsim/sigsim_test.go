@@ -1,0 +1,208 @@
+package sigsim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func TestSignalDelivery(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	var got []Signal
+	p.On(SIGTERM, func(s Signal) {
+		got = append(got, s)
+		p.Close(nil)
+	})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		p.Kill(SIGTERM)
+	}()
+	runLoop(t, l)
+	if len(got) != 1 || got[0] != SIGTERM {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSignalHandlersRunInRegistrationOrder(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		p.On(SIGUSR1, func(Signal) { order = append(order, i) })
+	}
+	p.On(SIGUSR1, func(Signal) { p.Close(nil) })
+	l.SetTimeout(time.Millisecond, func() { p.Kill(SIGUSR1) })
+	runLoop(t, l)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPendingSignalCoalesces(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	n := 0
+	p.On(SIGHUP, func(Signal) { n++ })
+	l.SetTimeout(time.Millisecond, func() {
+		// Three kills while the first is still pending: standard POSIX
+		// semantics deliver one.
+		p.Kill(SIGHUP)
+		p.Kill(SIGHUP)
+		p.Kill(SIGHUP)
+		l.SetTimeout(5*time.Millisecond, func() { p.Close(nil) })
+	})
+	runLoop(t, l)
+	if n != 1 {
+		t.Fatalf("handler ran %d times, want 1 (coalescing)", n)
+	}
+}
+
+func TestSignalAfterHandlingDeliversAgain(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	n := 0
+	p.On(SIGUSR2, func(Signal) {
+		n++
+		if n == 2 {
+			p.Close(nil)
+			return
+		}
+		p.Kill(SIGUSR2) // re-raise after handling: not pending any more
+	})
+	l.SetTimeout(time.Millisecond, func() { p.Kill(SIGUSR2) })
+	runLoop(t, l)
+	if n != 2 {
+		t.Fatalf("handler ran %d times, want 2", n)
+	}
+}
+
+func TestOnceAndOff(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	onceRan, offRan := 0, 0
+	p.Once(SIGINT, func(Signal) { onceRan++ })
+	sub := p.On(SIGINT, func(Signal) { offRan++ })
+	p.Off(sub)
+	n := 0
+	p.On(SIGINT, func(Signal) {
+		n++
+		if n == 2 {
+			p.Close(nil)
+			return
+		}
+		p.Kill(SIGINT)
+	})
+	l.SetTimeout(time.Millisecond, func() { p.Kill(SIGINT) })
+	runLoop(t, l)
+	if onceRan != 1 {
+		t.Errorf("once ran %d times", onceRan)
+	}
+	if offRan != 0 {
+		t.Errorf("removed handler ran %d times", offRan)
+	}
+}
+
+func TestKillAfterCloseDropped(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	ran := false
+	p.On(SIGTERM, func(Signal) { ran = true })
+	p.Close(nil)
+	p.Close(nil) // idempotent
+	p.Kill(SIGTERM)
+	runLoop(t, l)
+	if ran {
+		t.Fatal("signal delivered after Close")
+	}
+}
+
+func TestSpawnReportsExitAndSIGCHLD(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	var exitCode atomic.Int64
+	sigchld := false
+	p.On(SIGCHLD, func(Signal) {
+		sigchld = true
+		p.Close(nil)
+	})
+	child := p.Spawn("worker", func(killed func() bool) int {
+		return 7
+	}, func(code int) { exitCode.Store(int64(code)) })
+	if child.PID <= 0 {
+		t.Fatal("no pid assigned")
+	}
+	runLoop(t, l)
+	if exitCode.Load() != 7 {
+		t.Fatalf("exit code = %d", exitCode.Load())
+	}
+	if !sigchld {
+		t.Fatal("no SIGCHLD after child exit")
+	}
+	if child.Running() {
+		t.Fatal("child still reported running")
+	}
+}
+
+func TestChildKillObservedByBody(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	p := NewProcess(l)
+	p.On(SIGCHLD, func(Signal) { p.Close(nil) })
+	var code atomic.Int64
+	var child *Child
+	child = p.Spawn("loopy", func(killed func() bool) int {
+		deadline := time.Now().Add(5 * time.Second)
+		for !killed() {
+			if time.Now().After(deadline) {
+				return 99 // body was never killed
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return 143 // SIGTERM-style exit
+	}, func(c int) { code.Store(int64(c)) })
+	l.SetTimeout(3*time.Millisecond, func() { child.Kill() })
+	runLoop(t, l)
+	if code.Load() != 143 {
+		t.Fatalf("exit code = %d, want 143", code.Load())
+	}
+}
+
+// TestSignalsUnderFuzzer: delivery and coalescing hold under the fuzzing
+// scheduler too.
+func TestSignalsUnderFuzzer(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		l := eventloop.New(eventloop.Options{
+			Scheduler: core.NewScheduler(core.StandardParams(), seed),
+		})
+		p := NewProcess(l)
+		terms := 0
+		p.On(SIGTERM, func(Signal) { terms++ })
+		p.On(SIGINT, func(Signal) { p.Close(nil) })
+		l.SetTimeout(time.Millisecond, func() {
+			p.Kill(SIGTERM)
+			l.SetTimeout(4*time.Millisecond, func() { p.Kill(SIGINT) })
+		})
+		runLoop(t, l)
+		if terms != 1 {
+			t.Fatalf("seed %d: SIGTERM handled %d times", seed, terms)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package simnet
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// delivery is one scheduled network action: at due, fire fn (which posts a
+// poll event on some loop).
+type delivery struct {
+	due time.Time
+	seq uint64
+	fn  func()
+}
+
+type deliveryHeap []*delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(*delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return d
+}
+
+// engine is the network's single delivery goroutine: a time-ordered heap of
+// pending deliveries, fired when due. It is the wire — latency happens
+// here, and loops observe only the resulting poll events.
+type engine struct {
+	mu     sync.Mutex
+	heap   deliveryHeap
+	seq    uint64
+	wake   chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+func newEngine() *engine {
+	e := &engine{
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+// schedule queues fn to fire after delay, but never before notBefore
+// (which enforces per-connection FIFO). It returns the actual due time so
+// callers can thread it as the next notBefore.
+func (e *engine) schedule(delay time.Duration, notBefore time.Time, fn func()) time.Time {
+	due := time.Now().Add(delay)
+	if due.Before(notBefore) {
+		due = notBefore
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return due
+	}
+	e.seq++
+	heap.Push(&e.heap, &delivery{due: due, seq: e.seq, fn: fn})
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+	return due
+}
+
+// close stops the engine; pending deliveries are dropped.
+func (e *engine) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+}
+
+func (e *engine) run() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		var wait time.Duration = -1
+		var ready *delivery
+		if len(e.heap) > 0 {
+			now := time.Now()
+			next := e.heap[0]
+			if !next.due.After(now) {
+				ready = heap.Pop(&e.heap).(*delivery)
+			} else {
+				wait = next.due.Sub(now)
+			}
+		}
+		e.mu.Unlock()
+
+		if ready != nil {
+			ready.fn()
+			continue
+		}
+		if wait < 0 {
+			select {
+			case <-e.wake:
+			case <-e.done:
+				return
+			}
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-e.wake:
+		case <-timer.C:
+		case <-e.done:
+			return
+		}
+	}
+}

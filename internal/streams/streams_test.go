@@ -1,0 +1,277 @@
+package streams
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/simfs"
+)
+
+func runLoop(t *testing.T, l *eventloop.Loop) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- l.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("loop did not terminate")
+	}
+}
+
+func TestReadableDeliversInOrderThenEnds(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 0)
+	var got []string
+	ended := false
+	r.OnData(func(b []byte) { got = append(got, string(b)) })
+	r.OnEnd(func() { ended = true })
+	for i := 0; i < 5; i++ {
+		r.Push([]byte(fmt.Sprintf("c%d", i)))
+	}
+	r.End()
+	r.End() // idempotent
+	runLoop(t, l)
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("c%d", i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if !ended {
+		t.Fatal("end never fired")
+	}
+	if r.Push([]byte("late")) {
+		t.Fatal("push after end accepted")
+	}
+}
+
+func TestReadableBackpressureSignal(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 4)
+	r.OnData(func([]byte) {})
+	if !r.Push([]byte("ab")) {
+		t.Fatal("under hwm should return true")
+	}
+	if r.Push([]byte("cdef")) {
+		t.Fatal("over hwm should return false")
+	}
+	if r.Buffered() != 6 {
+		t.Fatalf("buffered = %d", r.Buffered())
+	}
+	r.End()
+	runLoop(t, l)
+	if r.Buffered() != 0 {
+		t.Fatalf("buffered after drain = %d", r.Buffered())
+	}
+}
+
+func TestPauseBuffersResumeDrains(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 0)
+	var got []string
+	ended := false
+	r.OnData(func(b []byte) {
+		got = append(got, string(b))
+		if string(b) == "a" {
+			r.Pause()
+			// While paused, b and c queue; resume on a timer.
+			l.SetTimeout(3*time.Millisecond, func() {
+				if len(got) != 1 {
+					t.Errorf("delivered while paused: %v", got)
+				}
+				r.Resume()
+				r.Resume() // idempotent
+			})
+		}
+	})
+	r.OnEnd(func() { ended = true })
+	r.Push([]byte("a"))
+	r.Push([]byte("b"))
+	r.Push([]byte("c"))
+	r.End()
+	runLoop(t, l)
+	if len(got) != 3 || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+	if !ended {
+		t.Fatal("end did not fire after drain")
+	}
+	if !r.Paused() == false && r.Paused() {
+		t.Fatal("paused state wrong")
+	}
+}
+
+func TestWritableSinkOrderAndFinish(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var sunk []string
+	inFlight := 0
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) {
+		inFlight++
+		if inFlight != 1 {
+			t.Error("more than one chunk in flight")
+		}
+		c := string(chunk)
+		l.SetTimeout(time.Millisecond, func() {
+			sunk = append(sunk, c)
+			inFlight--
+			done(nil)
+		})
+	})
+	finished := false
+	w.OnFinish(func() { finished = true })
+	for i := 0; i < 4; i++ {
+		w.Write([]byte(fmt.Sprintf("w%d", i)))
+	}
+	w.End()
+	w.End() // idempotent
+	runLoop(t, l)
+	if len(sunk) != 4 || sunk[0] != "w0" || sunk[3] != "w3" {
+		t.Fatalf("sunk %v", sunk)
+	}
+	if !finished {
+		t.Fatal("finish never fired")
+	}
+	if w.Write([]byte("late")) {
+		t.Fatal("write after end accepted")
+	}
+}
+
+func TestWritableDrainFiresAfterPressure(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	w := NewWritable(l, 3, func(chunk []byte, done func(error)) {
+		l.SetImmediate(func() { done(nil) })
+	})
+	drains := 0
+	w.OnDrain(func() { drains++ })
+	if w.Write([]byte("xxxx")) { // 4 >= hwm 3
+		t.Fatal("expected pressure")
+	}
+	runLoop(t, l)
+	if drains != 1 {
+		t.Fatalf("drain fired %d times, want 1", drains)
+	}
+	if w.Queued() != 0 {
+		t.Fatalf("queued = %d", w.Queued())
+	}
+}
+
+func TestWritableSinkErrorStopsStream(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	boom := errors.New("disk full")
+	calls := 0
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) {
+		calls++
+		l.SetImmediate(func() { done(boom) })
+	})
+	var gotErr error
+	finished := false
+	w.OnError(func(err error) { gotErr = err })
+	w.OnFinish(func() { finished = true })
+	w.Write([]byte("a"))
+	w.Write([]byte("b"))
+	w.End()
+	runLoop(t, l)
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	if calls != 1 {
+		t.Fatalf("sink called %d times after failure", calls)
+	}
+	if finished {
+		t.Fatal("finished after error")
+	}
+	if w.Write([]byte("late")) {
+		t.Fatal("write accepted after failure")
+	}
+}
+
+func TestPipeEndToEndThroughFS(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	fs := simfs.New()
+	if err := fs.Create("/out"); err != nil {
+		t.Fatal(err)
+	}
+	fsa := simfs.Bind(l, fs, 300*time.Microsecond, 1)
+
+	r := NewReadable(l, 8) // tiny hwm: exercise backpressure
+	w := NewWritable(l, 8, func(chunk []byte, done func(error)) {
+		fsa.Append("/out", chunk, done)
+	})
+	var pipeErr error
+	pipeDone := false
+	Pipe(r, w, func(err error) { pipeErr = err; pipeDone = true })
+
+	var want bytes.Buffer
+	go func() {
+		for i := 0; i < 12; i++ {
+			chunk := []byte(fmt.Sprintf("[chunk-%02d]", i))
+			r.Push(chunk)
+			time.Sleep(300 * time.Microsecond)
+		}
+		r.End()
+	}()
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&want, "[chunk-%02d]", i)
+	}
+	runLoop(t, l)
+	if !pipeDone || pipeErr != nil {
+		t.Fatalf("pipe done=%v err=%v", pipeDone, pipeErr)
+	}
+	got, err := fs.ReadFile("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("file = %q, want %q", got, want.Bytes())
+	}
+}
+
+// TestPipeUnderFuzzer: the full pipe property — every byte arrives, in
+// order, exactly once — holds under the fuzzing scheduler across seeds.
+func TestPipeUnderFuzzer(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		l := eventloop.New(eventloop.Options{
+			Scheduler: core.NewScheduler(core.StandardParams(), seed),
+		})
+		fs := simfs.New()
+		if err := fs.Create("/out"); err != nil {
+			t.Fatal(err)
+		}
+		fsa := simfs.Bind(l, fs, 300*time.Microsecond, seed)
+		r := NewReadable(l, 16)
+		w := NewWritable(l, 16, func(chunk []byte, done func(error)) {
+			fsa.Append("/out", chunk, done)
+		})
+		Pipe(r, w, nil)
+		var want bytes.Buffer
+		go func() {
+			for i := 0; i < 10; i++ {
+				r.Push([]byte(fmt.Sprintf("<%d>", i)))
+				time.Sleep(500 * time.Microsecond)
+			}
+			r.End()
+		}()
+		for i := 0; i < 10; i++ {
+			fmt.Fprintf(&want, "<%d>", i)
+		}
+		runLoop(t, l)
+		got, _ := fs.ReadFile("/out")
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("seed %d: file = %q, want %q", seed, got, want.Bytes())
+		}
+	}
+}

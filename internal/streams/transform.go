@@ -1,0 +1,104 @@
+package streams
+
+import "bytes"
+
+// Transform connects a Readable to a Writable through an asynchronous
+// per-chunk function, preserving order and backpressure: the transform of
+// chunk n+1 starts only after chunk n's transform delivered, and pressure
+// from the output propagates to the input. onDone reports completion or
+// the first error.
+//
+// fn receives each input chunk and a push callback it must call exactly
+// once with the transformed output (nil output drops the chunk).
+func Transform(r *Readable, w *Writable, fn func(chunk []byte, push func([]byte, error)), onDone func(error)) {
+	if onDone == nil {
+		onDone = func(error) {}
+	}
+	var queue [][]byte
+	transforming := false
+	ended := false
+	failed := false
+
+	var kick func()
+	finishIfDone := func() {
+		if ended && !transforming && len(queue) == 0 && !failed {
+			w.End()
+		}
+	}
+	kick = func() {
+		if transforming || failed || len(queue) == 0 {
+			return
+		}
+		transforming = true
+		chunk := queue[0]
+		queue = queue[1:]
+		fn(chunk, func(out []byte, err error) {
+			transforming = false
+			if failed {
+				return
+			}
+			if err != nil {
+				failed = true
+				onDone(err)
+				return
+			}
+			if out != nil {
+				if !w.Write(out) {
+					r.Pause()
+				}
+			}
+			kick()
+			finishIfDone()
+		})
+	}
+
+	r.OnData(func(chunk []byte) {
+		queue = append(queue, chunk)
+		kick()
+	})
+	r.OnEnd(func() {
+		ended = true
+		finishIfDone()
+	})
+	w.OnDrain(func() { r.Resume() })
+	w.OnFinish(func() {
+		if !failed {
+			onDone(nil)
+		}
+	})
+	w.OnError(func(err error) {
+		if !failed {
+			failed = true
+			onDone(err)
+		}
+	})
+}
+
+// LineSplitter re-chunks a byte stream at newline boundaries: it buffers
+// partial lines across input chunks and emits one output chunk per
+// complete line (newline stripped). The trailing unterminated line, if
+// any, is emitted at end-of-stream. It returns a new Readable on the same
+// loop.
+func LineSplitter(r *Readable) *Readable {
+	out := NewReadable(r.loop, 0)
+	var partial []byte
+	r.OnData(func(chunk []byte) {
+		partial = append(partial, chunk...)
+		for {
+			i := bytes.IndexByte(partial, '\n')
+			if i < 0 {
+				return
+			}
+			line := append([]byte(nil), partial[:i]...)
+			partial = partial[i+1:]
+			out.Push(line)
+		}
+	})
+	r.OnEnd(func() {
+		if len(partial) > 0 {
+			out.Push(partial)
+		}
+		out.End()
+	})
+	return out
+}

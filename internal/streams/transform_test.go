@@ -1,0 +1,173 @@
+package streams
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+func TestTransformUppercasesInOrder(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 0)
+	var sunk []string
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) {
+		sunk = append(sunk, string(chunk))
+		l.SetImmediate(func() { done(nil) })
+	})
+	var doneErr error
+	finished := false
+	Transform(r, w, func(chunk []byte, push func([]byte, error)) {
+		// Asynchronous transform: a loop turn later.
+		l.SetImmediate(func() { push(bytes.ToUpper(chunk), nil) })
+	}, func(err error) { doneErr = err; finished = true })
+
+	for _, s := range []string{"alpha", "beta", "gamma"} {
+		r.Push([]byte(s))
+	}
+	r.End()
+	runLoop(t, l)
+	if !finished || doneErr != nil {
+		t.Fatalf("done=%v err=%v", finished, doneErr)
+	}
+	if strings.Join(sunk, ",") != "ALPHA,BETA,GAMMA" {
+		t.Fatalf("sunk = %v", sunk)
+	}
+}
+
+func TestTransformDropsNilOutput(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 0)
+	var sunk []string
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) {
+		sunk = append(sunk, string(chunk))
+		done(nil)
+	})
+	Transform(r, w, func(chunk []byte, push func([]byte, error)) {
+		if string(chunk) == "drop" {
+			push(nil, nil)
+			return
+		}
+		push(chunk, nil)
+	}, nil)
+	r.Push([]byte("keep1"))
+	r.Push([]byte("drop"))
+	r.Push([]byte("keep2"))
+	r.End()
+	runLoop(t, l)
+	if strings.Join(sunk, ",") != "keep1,keep2" {
+		t.Fatalf("sunk = %v", sunk)
+	}
+}
+
+func TestTransformErrorStops(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	r := NewReadable(l, 0)
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) { done(nil) })
+	boom := errors.New("bad chunk")
+	var gotErr error
+	calls := 0
+	Transform(r, w, func(chunk []byte, push func([]byte, error)) {
+		calls++
+		push(nil, boom)
+	}, func(err error) { gotErr = err })
+	r.Push([]byte("a"))
+	r.Push([]byte("b"))
+	r.End()
+	runLoop(t, l)
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	if calls != 1 {
+		t.Fatalf("transform ran %d times after failure", calls)
+	}
+}
+
+func TestLineSplitterAcrossChunks(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	raw := NewReadable(l, 0)
+	lines := LineSplitter(raw)
+	var got []string
+	ended := false
+	lines.OnData(func(b []byte) { got = append(got, string(b)) })
+	lines.OnEnd(func() { ended = true })
+
+	// Lines split awkwardly across chunk boundaries.
+	raw.Push([]byte("first li"))
+	raw.Push([]byte("ne\nsecond\nthi"))
+	raw.Push([]byte("rd\ntrailing"))
+	raw.End()
+	runLoop(t, l)
+	want := []string{"first line", "second", "third", "trailing"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if !ended {
+		t.Fatal("splitter never ended")
+	}
+}
+
+func TestLineSplitterEmptyAndBlankLines(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	raw := NewReadable(l, 0)
+	lines := LineSplitter(raw)
+	var got []string
+	lines.OnData(func(b []byte) { got = append(got, string(b)) })
+	raw.Push([]byte("\n\nx\n"))
+	raw.End()
+	runLoop(t, l)
+	if len(got) != 3 || got[0] != "" || got[1] != "" || got[2] != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTransformPipelineThroughSplitter(t *testing.T) {
+	// raw bytes -> lines -> transform(parse) -> writable: a realistic log
+	// pipeline, fully on the loop.
+	l := eventloop.New(eventloop.Options{})
+	raw := NewReadable(l, 0)
+	lines := LineSplitter(raw)
+	var levels []string
+	w := NewWritable(l, 0, func(chunk []byte, done func(error)) {
+		levels = append(levels, string(chunk))
+		done(nil)
+	})
+	Transform(lines, w, func(line []byte, push func([]byte, error)) {
+		level, _, ok := strings.Cut(string(line), " ")
+		if !ok {
+			push(nil, nil)
+			return
+		}
+		push([]byte(level), nil)
+	}, nil)
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			raw.Push([]byte(fmt.Sprintf("INFO message %d\nWARN disk %d\n", i, i)))
+			time.Sleep(time.Millisecond)
+		}
+		raw.End()
+	}()
+	runLoop(t, l)
+	if len(levels) != 6 {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i, lv := range levels {
+		want := "INFO"
+		if i%2 == 1 {
+			want = "WARN"
+		}
+		if lv != want {
+			t.Fatalf("levels = %v", levels)
+		}
+	}
+}
