@@ -23,6 +23,7 @@ import (
 	"nodefz/internal/harness"
 	"nodefz/internal/httpsim"
 	"nodefz/internal/loadgen"
+	"nodefz/internal/metrics"
 	"nodefz/internal/sched"
 	"nodefz/internal/simnet"
 )
@@ -321,5 +322,45 @@ func BenchmarkRecorder(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Record("timer", "t")
+	}
+}
+
+// --- Metrics hot path --------------------------------------------------------
+
+func BenchmarkMetricsCounter(b *testing.B) {
+	c := metrics.NewRegistry().Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkMetricsHistogram(b *testing.B) {
+	h := metrics.NewRegistry().Histogram("bench", metrics.DurationBounds())
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*6364136223846793005 + 1442695040888963407 // cheap LCG spread
+		}
+	})
+}
+
+// BenchmarkLoopTimersInstrumented is BenchmarkLoopTimers against an explicit
+// registry; the delta to the uninstrumented run bounds the per-callback cost
+// of the always-on phase instruments.
+func BenchmarkLoopTimersInstrumented(b *testing.B) {
+	l := eventloop.New(eventloop.Options{Metrics: metrics.NewRegistry()})
+	fired := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.SetTimeout(0, func() { fired++ })
+	}
+	if err := l.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d/%d", fired, b.N)
 	}
 }

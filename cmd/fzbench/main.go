@@ -24,6 +24,7 @@ import (
 
 	"nodefz/internal/bugs"
 	"nodefz/internal/harness"
+	"nodefz/internal/metrics"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		truncate = flag.Int("truncate", 20000, "type-schedule truncation for fig7 (<0: none)")
 		seeds    = flag.Int("seeds", 10, "seeds for the fidelity experiment")
 		seed     = flag.Int64("seed", 1000, "base seed")
+		metOut   = flag.String("metrics", "", "append per-trial JSONL metrics snapshots to FILE (fig6 only)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,28 @@ func main() {
 	run("table1", func() { harness.WriteTable1(w) })
 	run("table2", func() { harness.WriteTable2(w) })
 	run("table3", func() { harness.WriteTable3(w) })
-	run("fig6", func() { harness.WriteFig6(w, harness.Fig6(*trials, *seed)) })
+	run("fig6", func() {
+		var obs harness.TrialObserver
+		var metW *metrics.JSONLWriter
+		if *metOut != "" {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			metW = metrics.NewJSONLWriter(f)
+			obs = harness.JSONLObserver(metW)
+		}
+		harness.WriteFig6(w, harness.Fig6Observed(*trials, *seed, obs))
+		if metW != nil {
+			if err := metW.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "[%d metrics snapshots written to %s]\n", metW.Count(), *metOut)
+		}
+	})
 	run("fig7", func() { harness.WriteFig7(w, harness.Fig7(*runs, *truncate, *seed)) })
 	run("fig8", func() { harness.WriteFig8(w, harness.Fig8(*runs*5, *seed)) })
 	run("fidelity", func() { harness.WriteFidelity(w, harness.Fidelity(harness.ModeFZ, *seeds)) })

@@ -11,16 +11,19 @@
 //	fzrun -bug MGS -fixed -mode nodeFZ -trials 20
 //	fzrun -bug NES -mode nodeFZ -record nes.trace    # save scheduler decisions
 //	fzrun -bug NES -mode nodeFZ -replay nes.trace    # bias a run toward them
+//	fzrun -bug SIO -mode nodeFZ -trials 5 -metrics out.jsonl   # per-trial metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nodefz/internal/bugs"
 	"nodefz/internal/core"
 	"nodefz/internal/harness"
+	"nodefz/internal/metrics"
 	"nodefz/internal/sched"
 )
 
@@ -36,6 +39,7 @@ func main() {
 		record = flag.String("record", "", "write the scheduler decision trace of the last trial to FILE")
 		replay = flag.String("replay", "", "replay a decision trace from FILE (bias the run toward a recorded schedule)")
 		diff   = flag.Bool("diff", false, "print the type-schedule diff between consecutive trials")
+		metOut = flag.String("metrics", "", "append one JSONL metrics snapshot per trial to FILE")
 	)
 	flag.Parse()
 
@@ -81,6 +85,17 @@ func main() {
 		}
 	}
 
+	var metW *metrics.JSONLWriter
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		metW = metrics.NewJSONLWriter(f)
+	}
+
 	manifested := 0
 	var prevSchedule []string
 	for i := 0; i < *trials; i++ {
@@ -96,11 +111,20 @@ func main() {
 		}
 		cfg := bugs.RunConfig{Seed: s, Scheduler: scheduler}
 		var rec *sched.Recorder
-		if *trace || *diff {
+		if *trace || *diff || metW != nil {
 			rec = sched.NewRecorder()
 			cfg.Recorder = rec
 		}
+		var reg *metrics.Registry
+		if metW != nil {
+			reg = metrics.NewRegistry()
+			cfg.Metrics = reg
+			cfg.LagProbeEvery = 2 * time.Millisecond
+		}
 		out := run(cfg)
+		if metW != nil {
+			metW.Write(harness.CollectTrial(app.Abbr, m, s, i, out, reg, scheduler, rec.Types()))
+		}
 		status := "ok"
 		if out.Manifested {
 			manifested++
@@ -145,6 +169,13 @@ func main() {
 			f.Close()
 			fmt.Printf("decision trace written to %s\n", *record)
 		}
+	}
+	if metW != nil {
+		if err := metW.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d metrics snapshot(s) written to %s\n", metW.Count(), *metOut)
 	}
 	fmt.Printf("\n%s %s under %s: manifested %d/%d\n", app.Abbr, variant(*fixed), m, manifested, *trials)
 }

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/lag"
+	"nodefz/internal/metrics"
 	"nodefz/internal/simfs"
 	"nodefz/internal/simnet"
 )
@@ -35,14 +37,30 @@ type RunConfig struct {
 	Scheduler eventloop.Scheduler
 	// Recorder, when non-nil, captures the type schedule.
 	Recorder eventloop.Recorder
+	// Metrics, when non-nil, is the per-trial registry the loop, worker
+	// pool, and scheduler activity are recorded into (see
+	// internal/metrics); nil leaves the loop on a private registry.
+	Metrics *metrics.Registry
+	// LagProbeEvery, when > 0 and Metrics is set, starts a loop-lag monitor
+	// sampling at this interval into the registry's "loop.lag_ns"
+	// histogram. The probe's interval timer is itself part of the schedule
+	// (and consumes scheduler decisions), so enabling it slightly perturbs
+	// a trial relative to a probe-free run with the same seed.
+	LagProbeEvery time.Duration
 }
 
 // NewLoop builds the event loop for a trial.
 func (cfg RunConfig) NewLoop() *eventloop.Loop {
-	return eventloop.New(eventloop.Options{
+	l := eventloop.New(eventloop.Options{
 		Scheduler: cfg.Scheduler,
 		Recorder:  cfg.Recorder,
+		Metrics:   cfg.Metrics,
 	})
+	if cfg.Metrics != nil && cfg.LagProbeEvery > 0 {
+		m := lag.New(l, cfg.LagProbeEvery, 0).Attach(cfg.Metrics)
+		l.AtExit(func() { m.Snapshot().FoldInto(cfg.Metrics) })
+	}
+	return l
 }
 
 // NewNet builds the trial's network with the trial seed.

@@ -63,25 +63,27 @@ func pageRaceTrial(sched eventloop.Scheduler, seed int64) (mixed bool) {
 // possibility of exposing several varieties of worker pool-related races".
 // Vanilla scheduling mixes pages in some trials; the fuzzer never can.
 func TestWorkerPoolRaceIsBeyondTheFuzzer(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-trial")
-	}
-	const trials = 30
+	trials := trialCount(30, 6)
 	vanillaMixed := 0
-	for seed := int64(0); seed < trials; seed++ {
+	for seed := int64(0); seed < int64(trials); seed++ {
 		if pageRaceTrial(eventloop.VanillaScheduler{}, seed) {
 			vanillaMixed++
 		}
 	}
-	if vanillaMixed == 0 {
+	// Whether vanilla concurrency interleaves the writes in a given trial is
+	// up to the host's goroutine scheduling — a statistical claim, sound only
+	// at the full trial budget. -short keeps just the deterministic half.
+	if vanillaMixed == 0 && !testing.Short() {
 		t.Errorf("vanilla concurrency never interleaved the writes in %d trials; "+
 			"the §4.2.3 race should be live", trials)
 	}
-	for seed := int64(0); seed < 10; seed++ {
+	fuzzTrials := trialCount(10, 4)
+	for seed := int64(0); seed < int64(fuzzTrials); seed++ {
 		if pageRaceTrial(core.NewScheduler(core.StandardParams(), seed), seed) {
 			t.Fatalf("seed %d: serialized fuzzer interleaved worker-pool writes — "+
 				"§4.3.3's serialization guarantee is broken", seed)
 		}
 	}
-	t.Logf("vanilla mixed pages in %d/%d trials; fuzzer in 0/10 (the documented §4.5 limitation)", vanillaMixed, trials)
+	t.Logf("vanilla mixed pages in %d/%d trials; fuzzer in 0/%d (the documented §4.5 limitation)",
+		vanillaMixed, trials, fuzzTrials)
 }

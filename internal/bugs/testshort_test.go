@@ -1,0 +1,14 @@
+package bugs
+
+import "testing"
+
+// trialCount adapts a statistical test's trial budget to the -short flag:
+// full runs keep the budget that makes the probabilistic assertions sound,
+// -short runs (CI race jobs, pre-commit) use the reduced one and should
+// keep only their deterministic assertions.
+func trialCount(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}

@@ -29,6 +29,8 @@ type Scheduler struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	dec decisions // lock-free decision counters, read via Decisions
 }
 
 var _ eventloop.Scheduler = (*Scheduler)(nil)
@@ -66,6 +68,11 @@ func newNamed(name string, params Params, seed int64) *Scheduler {
 // Params returns the scheduler's parameterization.
 func (s *Scheduler) Params() Params { return s.params }
 
+// Decisions returns a snapshot of the scheduler's decision counters. The
+// counters never feed back into the RNG, so reading them does not perturb
+// the decision stream.
+func (s *Scheduler) Decisions() DecisionCounters { return s.dec.snapshot() }
+
 // Name implements eventloop.Scheduler.
 func (s *Scheduler) Name() string { return s.name }
 
@@ -102,11 +109,16 @@ func (s *Scheduler) chance(pct int) bool {
 // preserving the {timeout, registration time} ordering, and the configured
 // delay is injected (§4.3.4).
 func (s *Scheduler) FilterTimers(due int) (int, time.Duration) {
+	s.dec.timerCalls.Add(1)
 	for i := 0; i < due; i++ {
 		if s.chance(s.params.TimerDeferralPct) {
+			s.dec.timersRun.Add(int64(i))
+			s.dec.timersDeferred.Add(int64(due - i))
+			s.dec.timerShortCircuits.Add(1)
 			return i, s.params.TimerDeferralDelay
 		}
 	}
+	s.dec.timersRun.Add(int64(due))
 	return due, 0
 }
 
@@ -151,24 +163,36 @@ func (s *Scheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eve
 		}
 	}
 	s.mu.Unlock()
+	s.dec.shuffleCalls.Add(1)
+	s.dec.eventsShuffled.Add(int64(n))
+	s.dec.eventsDeferred.Add(int64(len(deferred)))
 	return run, deferred
 }
 
 // DeferClose implements eventloop.Scheduler.
 func (s *Scheduler) DeferClose(string) bool {
-	return s.chance(s.params.CloseDeferralPct)
+	s.dec.closeCalls.Add(1)
+	v := s.chance(s.params.CloseDeferralPct)
+	if v {
+		s.dec.closesDeferred.Add(1)
+	}
+	return v
 }
 
 // PickTask implements eventloop.Scheduler: the lone worker executes a task
 // chosen uniformly among the first WorkerDoF queued tasks, simulating
 // multiple workers (§4.3.3).
 func (s *Scheduler) PickTask(n int) int {
+	s.dec.pickCalls.Add(1)
 	if n <= 1 {
 		return 0
 	}
 	s.mu.Lock()
 	i := s.rng.Intn(n)
 	s.mu.Unlock()
+	if i > 0 {
+		s.dec.lookaheadPicks.Add(1)
+	}
 	return i
 }
 

@@ -93,6 +93,13 @@ func (r *RecordingScheduler) Trace() *Trace {
 	return &cp
 }
 
+// Decisions forwards the inner scheduler's decision counters (zero when the
+// inner scheduler does not count decisions).
+func (r *RecordingScheduler) Decisions() DecisionCounters {
+	d, _ := DecisionsOf(r.inner)
+	return d
+}
+
 // Name implements eventloop.Scheduler.
 func (r *RecordingScheduler) Name() string { return r.inner.Name() + "(recorded)" }
 
@@ -186,6 +193,13 @@ func (r *ReplayScheduler) Misses() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.misses
+}
+
+// Decisions forwards the base scheduler's decision counters (zero when the
+// base scheduler does not count decisions).
+func (r *ReplayScheduler) Decisions() DecisionCounters {
+	d, _ := DecisionsOf(r.base)
+	return d
 }
 
 // Name implements eventloop.Scheduler.

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nodefz/internal/metrics"
 	"nodefz/internal/pool"
 )
 
@@ -45,7 +46,31 @@ type Options struct {
 	// PoolSize is the requested worker-pool size (like UV_THREADPOOL_SIZE,
 	// default 4). The scheduler may override it; the fuzzer forces 1.
 	PoolSize int
+	// Metrics is the registry the loop (and its worker pool) records
+	// per-phase counts, durations, and queue depths into. Nil creates a
+	// private per-loop registry, readable via Loop.Metrics.
+	Metrics *metrics.Registry
 }
+
+// The loop phases, indexing the per-phase instruments. "ticks" covers the
+// NextTick microtask queue, which drains after every callback; "check"
+// covers check handles plus immediates.
+const (
+	phTicks = iota
+	phTimers
+	phPending
+	phIdle
+	phPrepare
+	phPoll
+	phCheck
+	phClose
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"ticks", "timers", "pending", "idle", "prepare", "poll", "check", "close"}
+
+// phaseOrder is one loop iteration (§4.1), timers appearing twice.
+var phaseOrder = [...]int{phTicks, phTimers, phPending, phIdle, phPrepare, phPoll, phTimers, phCheck, phClose}
 
 // Stats counts scheduler-visible activity during a run; used by tests and
 // the fzrun tool.
@@ -97,6 +122,15 @@ type Loop struct {
 	depth     atomic.Int32 // callback nesting guard, used to detect overlap
 
 	stats Stats
+
+	// Metrics. The instrument handles are resolved once in New so the hot
+	// path is a single atomic add; curPhase is loop-goroutine-only.
+	reg      *metrics.Registry
+	phaseCB  [numPhases]*metrics.Counter
+	phaseNS  [numPhases]*metrics.Histogram
+	phaseFns [numPhases]func()
+	curPhase int
+	atExit   []func()
 }
 
 type tickFn struct {
@@ -130,11 +164,29 @@ func New(opts Options) *Loop {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 4
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
 	l := &Loop{
 		sched:        opts.Scheduler,
 		rec:          opts.Recorder,
 		wake:         make(chan struct{}, 1),
 		phaseHandles: make(map[PhaseKind][]*PhaseHandle),
+		reg:          opts.Metrics,
+	}
+	for p := 0; p < numPhases; p++ {
+		l.phaseCB[p] = l.reg.Counter("loop.phase." + phaseNames[p] + ".callbacks")
+		l.phaseNS[p] = l.reg.Histogram("loop.phase."+phaseNames[p]+".ns", metrics.DurationBounds())
+	}
+	l.phaseFns = [numPhases]func(){
+		phTicks:   l.drainTicks,
+		phTimers:  l.runTimers,
+		phPending: l.runPendingPhase,
+		phIdle:    l.runIdlePhase,
+		phPrepare: l.runPreparePhase,
+		phPoll:    l.poll,
+		phCheck:   l.runCheckPhase,
+		phClose:   l.runClosing,
 	}
 	if l.sched.Serialize() {
 		l.runLock = &sync.Mutex{}
@@ -151,6 +203,7 @@ func New(opts Options) *Loop {
 		Picker:  l.sched,
 		RunLock: workLock,
 		Demux:   l.sched.DemuxDone(),
+		Metrics: l.reg,
 		Post: func(kind, label string, cb func()) {
 			l.post(&Event{Kind: kind, Label: label, CB: cb})
 		},
@@ -165,6 +218,10 @@ func New(opts Options) *Loop {
 
 // Scheduler returns the loop's scheduler.
 func (l *Loop) Scheduler() Scheduler { return l.sched }
+
+// Metrics returns the loop's metrics registry (per-phase counts and
+// durations, worker-pool activity, and whatever substrates add).
+func (l *Loop) Metrics() *metrics.Registry { return l.reg }
 
 // Stats returns a snapshot of the loop's counters.
 func (l *Loop) Stats() Stats {
@@ -196,22 +253,56 @@ func (l *Loop) Run() error {
 
 	for l.alive() {
 		atomic.AddInt64(&l.stats.Iterations, 1)
-		// Ticks queued outside any callback (top level, or by another
-		// goroutine between iterations) drain at iteration start, like
-		// process.nextTick callbacks scheduled from module scope.
-		l.drainTicks()
-		l.runTimers()
-		l.runPendingPhase()
-		l.runPhaseHandles(IdleHandle)
-		l.runPhaseHandles(PrepareHandle)
-		l.poll()
-		l.runTimers() // "timers again" (§4.1)
-		l.runPhaseHandles(CheckHandle)
-		l.runImmediates()
-		l.runClosing()
+		// Each iteration walks phaseOrder: ticks queued outside any callback
+		// drain first (like process.nextTick from module scope), then
+		// timers, pending, idle, prepare, poll, timers again (§4.1), check,
+		// close. Every phase is timed into its duration histogram, and
+		// curPhase attributes executed callbacks to it.
+		for _, p := range phaseOrder {
+			l.curPhase = p
+			start := time.Now()
+			l.phaseFns[p]()
+			l.phaseNS[p].Observe(int64(time.Since(start)))
+		}
 	}
 	l.pool.Close()
+	l.foldStats()
+	for _, fn := range l.atExit {
+		fn()
+	}
 	return nil
+}
+
+// AtExit registers fn to run after the loop drains and the pool shuts down,
+// just before Run returns — the hook instrumentation uses to fold final
+// summaries (e.g. lag percentiles) into the metrics registry. Hooks run in
+// registration order on the Run caller's goroutine, once per Run.
+func (l *Loop) AtExit(fn func()) {
+	l.atExit = append(l.atExit, fn)
+}
+
+// runIdlePhase, runPreparePhase, and runCheckPhase adapt the phases to the
+// uniform phaseFns signature; check covers check handles plus immediates.
+func (l *Loop) runIdlePhase()    { l.runPhaseHandles(IdleHandle) }
+func (l *Loop) runPreparePhase() { l.runPhaseHandles(PrepareHandle) }
+func (l *Loop) runCheckPhase() {
+	l.runPhaseHandles(CheckHandle)
+	l.runImmediates()
+}
+
+// foldStats mirrors the Stats counters into the metrics registry as gauges
+// so a Snapshot after Run carries them; gauges make repeated Runs
+// idempotent (last totals win).
+func (l *Loop) foldStats() {
+	s := l.Stats()
+	l.reg.Gauge("loop.iterations").Set(s.Iterations)
+	l.reg.Gauge("loop.callbacks").Set(s.Callbacks)
+	l.reg.Gauge("loop.timers_run").Set(s.TimersRun)
+	l.reg.Gauge("loop.timers_deferred").Set(s.TimersDeferred)
+	l.reg.Gauge("loop.events_run").Set(s.EventsRun)
+	l.reg.Gauge("loop.events_deferred").Set(s.EventsDeferred)
+	l.reg.Gauge("loop.closes_deferred").Set(s.ClosesDeferred)
+	l.reg.Gauge("loop.tasks_executed").Set(s.TasksExecuted)
 }
 
 // Stop makes Run return as soon as the current phase completes. Safe from
@@ -282,6 +373,7 @@ func (l *Loop) post(ev *Event) {
 // run lock (serialized mode), and drains the NextTick queue afterwards.
 func (l *Loop) execute(kind, label string, cb func()) {
 	atomic.AddInt64(&l.stats.Callbacks, 1)
+	l.phaseCB[l.curPhase].Inc()
 	l.runLock.Lock()
 	l.rec.Record(kind, label)
 	if l.depth.Add(1) != 1 {
@@ -307,6 +399,7 @@ func (l *Loop) drainTicks() {
 		l.mu.Unlock()
 
 		atomic.AddInt64(&l.stats.Callbacks, 1)
+		l.phaseCB[phTicks].Inc()
 		l.runLock.Lock()
 		l.rec.Record(KindTick, t.label)
 		if l.depth.Add(1) != 1 {

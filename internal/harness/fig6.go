@@ -21,11 +21,17 @@ type Fig6Row struct {
 // the studied bugs ("roughly the number of rounds of testing we ourselves
 // use before declaring our own software relatively bug free").
 func Fig6(trials int, baseSeed int64) []Fig6Row {
+	return Fig6Observed(trials, baseSeed, nil)
+}
+
+// Fig6Observed is Fig6 with a per-trial metrics observer (see
+// ReproRateObserved); a nil observer is plain Fig6.
+func Fig6Observed(trials int, baseSeed int64, obs TrialObserver) []Fig6Row {
 	var rows []Fig6Row
 	for _, app := range bugs.Fig6Set() {
 		row := Fig6Row{Abbr: app.Abbr, Rates: make(map[Mode]Rate)}
 		for _, m := range Fig6Modes() {
-			row.Rates[m] = ReproRate(app, m, trials, baseSeed)
+			row.Rates[m] = ReproRateObserved(app, m, trials, baseSeed, obs)
 		}
 		rows = append(rows, row)
 	}
@@ -49,6 +55,16 @@ func WriteFig6(w io.Writer, rows []Fig6Row) {
 			r := row.Rates[m]
 			fmt.Fprintf(w, "  %-8s |%s %d/%d\n", m, bar(r.Fraction(), 40), r.Manifested, r.Trials)
 		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Scheduler decisions under nodeFZ (totals over all trials):\n")
+	fmt.Fprintf(w, "%-11s %10s %10s %10s %10s %10s %10s\n",
+		"bug", "tmr-def", "short-cct", "ev-def", "close-def", "la-picks", "perturb")
+	for _, row := range rows {
+		d := row.Rates[ModeFZ].Decisions
+		fmt.Fprintf(w, "%-11s %10d %10d %10d %10d %10d %10d\n", row.Abbr,
+			d.TimersDeferred, d.TimerShortCircuits, d.EventsDeferred,
+			d.ClosesDeferred, d.LookaheadPicks, d.Perturbations())
 	}
 }
 

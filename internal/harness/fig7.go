@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"nodefz/internal/core"
 	"nodefz/internal/sched"
 )
 
@@ -18,6 +19,10 @@ type Fig7Row struct {
 	Truncate  int
 	NFZ, FZ   float64
 	SchedLens [2]int // mean schedule length under each mode, for context
+	// Decisions aggregates the scheduler decision counters over all runs,
+	// per mode ([0] = nodeNFZ, [1] = nodeFZ) — the decision volume behind
+	// the schedule-space expansion each NLD column reports.
+	Decisions [2]core.DecisionCounters
 }
 
 // Fig7 reproduces §5.3's schedule-space-exploration experiment: the paper
@@ -44,7 +49,8 @@ func Fig7(runs, truncate int, baseSeed int64) []Fig7Row {
 				for r := 0; r < runs; r++ {
 					sem <- struct{}{}
 					rec := sched.NewRecorder()
-					runSuite(abbr, mode, baseSeed+int64(r*131), rec)
+					_, dec := runSuite(abbr, mode, baseSeed+int64(r*131), rec)
+					row.Decisions[mi] = row.Decisions[mi].Add(dec)
 					schedules[r] = rec.Types()
 					totalLen += len(schedules[r])
 					<-sem
@@ -78,5 +84,15 @@ func WriteFig7(w io.Writer, rows []Fig7Row) {
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-8s nodeNFZ |%s %.3f\n", row.Abbr, bar(row.NFZ, 40), row.NFZ)
 		fmt.Fprintf(w, "%-8s nodeFZ  |%s %.3f\n", "", bar(row.FZ, 40), row.FZ)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Scheduler decisions under nodeFZ (totals over all runs):\n")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %10s\n",
+		"module", "tmr-def", "ev-def", "close-def", "la-picks", "perturb")
+	for _, row := range rows {
+		d := row.Decisions[1]
+		fmt.Fprintf(w, "%-8s %10d %10d %10d %10d %10d\n", row.Abbr,
+			d.TimersDeferred, d.EventsDeferred, d.ClosesDeferred,
+			d.LookaheadPicks, d.Perturbations())
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"nodefz/internal/core"
 )
 
 // Fig8Row is one module's overhead measurement: mean suite wall time under
@@ -15,6 +17,9 @@ type Fig8Row struct {
 	Runs  int
 	Mean  map[Mode]time.Duration
 	Ratio map[Mode]float64
+	// Decisions aggregates scheduler decision counters over all runs per
+	// mode, correlating overhead with perturbation volume.
+	Decisions map[Mode]core.DecisionCounters
 }
 
 // Fig8 reproduces §5.4's performance experiment: run each module's suite
@@ -34,16 +39,19 @@ func Fig8(runs int, baseSeed int64) []Fig8Row {
 		go func() {
 			defer wg.Done()
 			row := Fig8Row{
-				Abbr:  abbr,
-				Runs:  runs,
-				Mean:  make(map[Mode]time.Duration),
-				Ratio: make(map[Mode]float64),
+				Abbr:      abbr,
+				Runs:      runs,
+				Mean:      make(map[Mode]time.Duration),
+				Ratio:     make(map[Mode]float64),
+				Decisions: make(map[Mode]core.DecisionCounters),
 			}
 			for _, mode := range Fig6Modes() {
 				var total time.Duration
 				for r := 0; r < runs; r++ {
 					sem <- struct{}{}
-					total += runSuite(abbr, mode, baseSeed+int64(r*197), nil)
+					d, dec := runSuite(abbr, mode, baseSeed+int64(r*197), nil)
+					total += d
+					row.Decisions[mode] = row.Decisions[mode].Add(dec)
 					<-sem
 				}
 				row.Mean[mode] = total / time.Duration(runs)
@@ -67,13 +75,14 @@ func WriteFig8(w io.Writer, rows []Fig8Row) {
 	if len(rows) > 0 {
 		fmt.Fprintf(w, "(%d runs per mode; 1.00 = nodeV wall time)\n\n", rows[0].Runs)
 	}
-	fmt.Fprintf(w, "%-8s %10s %10s %10s %8s %8s\n",
-		"module", "nodeV", "nodeNFZ", "nodeFZ", "NFZ/V", "FZ/V")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %8s %8s %10s\n",
+		"module", "nodeV", "nodeNFZ", "nodeFZ", "NFZ/V", "FZ/V", "FZ-perturb")
 	for _, row := range rows {
-		fmt.Fprintf(w, "%-8s %10s %10s %10s %8.2f %8.2f\n", row.Abbr,
+		fmt.Fprintf(w, "%-8s %10s %10s %10s %8.2f %8.2f %10d\n", row.Abbr,
 			row.Mean[ModeVanilla].Round(time.Millisecond),
 			row.Mean[ModeNFZ].Round(time.Millisecond),
 			row.Mean[ModeFZ].Round(time.Millisecond),
-			row.Ratio[ModeNFZ], row.Ratio[ModeFZ])
+			row.Ratio[ModeNFZ], row.Ratio[ModeFZ],
+			row.Decisions[ModeFZ].Perturbations())
 	}
 }

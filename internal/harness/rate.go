@@ -3,9 +3,13 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"nodefz/internal/bugs"
+	"nodefz/internal/core"
 	"nodefz/internal/eventloop"
+	"nodefz/internal/metrics"
+	"nodefz/internal/sched"
 )
 
 // Rate is a manifestation rate over a batch of trials.
@@ -15,6 +19,9 @@ type Rate struct {
 	// FirstNote is the detector's description from the first manifesting
 	// trial, if any.
 	FirstNote string
+	// Decisions aggregates the scheduler decision counters over all trials
+	// (zero under decision-free schedulers like nodeV).
+	Decisions core.DecisionCounters
 }
 
 // Fraction is Manifested/Trials, 0 for an empty batch.
@@ -29,9 +36,17 @@ func (r Rate) Fraction() float64 {
 // under mode, with per-trial seeds baseSeed, baseSeed+1, ... Trials run in
 // parallel (each owns its loop, network, and scheduler).
 func ReproRate(app *bugs.App, mode Mode, trials int, baseSeed int64) Rate {
+	return ReproRateObserved(app, mode, trials, baseSeed, nil)
+}
+
+// ReproRateObserved is ReproRate with a per-trial metrics observer: each
+// trial runs with its own metrics registry, a schedule recorder, and a lag
+// probe, and obs receives the assembled record. A nil obs skips all
+// per-trial instrumentation beyond the decision counters.
+func ReproRateObserved(app *bugs.App, mode Mode, trials int, baseSeed int64, obs TrialObserver) Rate {
 	return measure(app.Run, func(seed int64) eventloop.Scheduler {
 		return SchedulerFor(mode, seed)
-	}, trials, baseSeed)
+	}, trials, baseSeed, trialMeta{bug: app.Abbr, mode: mode, obs: obs})
 }
 
 // FixedRate measures the patched variant the same way; it should be zero
@@ -42,7 +57,7 @@ func FixedRate(app *bugs.App, mode Mode, trials int, baseSeed int64) Rate {
 	}
 	return measure(app.RunFixed, func(seed int64) eventloop.Scheduler {
 		return SchedulerFor(mode, seed)
-	}, trials, baseSeed)
+	}, trials, baseSeed, trialMeta{bug: app.Abbr, mode: mode})
 }
 
 func mustApp(abbr string) *bugs.App {
@@ -53,13 +68,26 @@ func mustApp(abbr string) *bugs.App {
 	return app
 }
 
-func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eventloop.Scheduler, trials int, baseSeed int64) Rate {
+// trialMeta labels a measure batch for metrics export.
+type trialMeta struct {
+	bug  string
+	mode Mode
+	obs  TrialObserver
+}
+
+// lagProbeInterval is the loop-lag sampling period used for observed
+// trials; comfortably above the ~1ms sleep granularity bugs.RunConfig
+// documents, small enough for tens of samples per trial.
+const lagProbeInterval = 2 * time.Millisecond
+
+func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eventloop.Scheduler, trials int, baseSeed int64, meta trialMeta) Rate {
 	if trials <= 0 {
 		return Rate{}
 	}
 	type result struct {
 		manifested bool
 		note       string
+		decisions  core.DecisionCounters
 	}
 	results := make([]result, trials)
 
@@ -75,11 +103,23 @@ func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eve
 			defer wg.Done()
 			for i := range next {
 				seed := baseSeed + int64(i)
-				out := run(bugs.RunConfig{
-					Seed:      seed,
-					Scheduler: mkSched(seed),
-				})
-				results[i] = result{manifested: out.Manifested, note: out.Note}
+				s := mkSched(seed)
+				cfg := bugs.RunConfig{Seed: seed, Scheduler: s}
+				var reg *metrics.Registry
+				var rec *sched.Recorder
+				if meta.obs != nil {
+					reg = metrics.NewRegistry()
+					rec = sched.NewRecorder()
+					cfg.Metrics = reg
+					cfg.Recorder = rec
+					cfg.LagProbeEvery = lagProbeInterval
+				}
+				out := run(cfg)
+				d, _ := core.DecisionsOf(s)
+				results[i] = result{manifested: out.Manifested, note: out.Note, decisions: d}
+				if meta.obs != nil {
+					meta.obs(CollectTrial(meta.bug, meta.mode, seed, i, out, reg, s, rec.Types()))
+				}
 			}
 		}()
 	}
@@ -97,6 +137,7 @@ func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eve
 				r.FirstNote = res.note
 			}
 		}
+		r.Decisions = r.Decisions.Add(res.decisions)
 	}
 	return r
 }

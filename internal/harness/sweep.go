@@ -50,7 +50,7 @@ func Sweep(param, abbr string, values []int, trials int, baseSeed int64) SweepRe
 		params := paramsWith(param, v)
 		rate := measure(app.Run, func(seed int64) eventloop.Scheduler {
 			return core.NewScheduler(params, seed)
-		}, trials, baseSeed)
+		}, trials, baseSeed, trialMeta{bug: abbr, mode: ModeFZ})
 		res.Points = append(res.Points, SweepPoint{Value: v, Rate: rate})
 	}
 	return res

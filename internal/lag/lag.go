@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/metrics"
 )
 
 // Monitor samples event-loop delay on one loop. Create with New, read with
@@ -28,6 +29,7 @@ type Monitor struct {
 	samples  []time.Duration
 	maxKeep  int
 	stopped  bool
+	hist     *metrics.Histogram // non-nil after Attach
 }
 
 // New starts sampling: every interval, the monitor measures how late its
@@ -48,6 +50,15 @@ func New(l *eventloop.Loop, interval time.Duration, maxSamples int) *Monitor {
 	return m
 }
 
+// Attach additionally streams every sample into reg's "loop.lag_ns"
+// histogram, so loop-lag percentiles appear in metrics snapshots alongside
+// the phase and scheduler counters. Call before the loop runs; returns m
+// for chaining.
+func (m *Monitor) Attach(reg *metrics.Registry) *Monitor {
+	m.hist = reg.Histogram("loop.lag_ns", metrics.DurationBounds())
+	return m
+}
+
 func (m *Monitor) sample() {
 	now := time.Now()
 	lag := now.Sub(m.expected)
@@ -58,6 +69,9 @@ func (m *Monitor) sample() {
 	m.samples = append(m.samples, lag)
 	if len(m.samples) > m.maxKeep {
 		m.samples = m.samples[len(m.samples)-m.maxKeep:]
+	}
+	if m.hist != nil {
+		m.hist.ObserveDuration(lag)
 	}
 }
 
@@ -96,6 +110,17 @@ type Snapshot struct {
 	P50   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+}
+
+// FoldInto writes the snapshot's summary into reg as "lag.*" gauges — the
+// exact-reservoir counterpart of the bucketed "loop.lag_ns" histogram that
+// Attach streams.
+func (s Snapshot) FoldInto(reg *metrics.Registry) {
+	reg.Gauge("lag.count").Set(int64(s.Count))
+	reg.Gauge("lag.mean_ns").Set(int64(s.Mean))
+	reg.Gauge("lag.p50_ns").Set(int64(s.P50))
+	reg.Gauge("lag.p99_ns").Set(int64(s.P99))
+	reg.Gauge("lag.max_ns").Set(int64(s.Max))
 }
 
 // String renders the snapshot.

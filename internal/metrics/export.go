@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TrialRecord is one line of the JSONL metrics stream: the identity of a
+// trial, its outcome, the full metrics snapshot (loop phases, pool,
+// scheduler decisions, lag), and optionally the type schedule the trial
+// executed (§5.3) so schedule-space statistics can be recomputed offline.
+type TrialRecord struct {
+	Bug        string   `json:"bug,omitempty"`
+	Mode       string   `json:"mode"`
+	Seed       int64    `json:"seed"`
+	Trial      int      `json:"trial"`
+	Manifested bool     `json:"manifested"`
+	Note       string   `json:"note,omitempty"`
+	Metrics    Snapshot `json:"metrics"`
+	Schedule   []string `json:"schedule,omitempty"`
+}
+
+// JSONLWriter streams TrialRecords as JSON Lines, one record per line. It
+// is safe for concurrent use (the harness runs trials in parallel).
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewJSONLWriter wraps w. The writer does not close w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one record. After the first error every call returns it
+// without writing further (a torn JSONL stream is worse than a short one).
+func (j *JSONLWriter) Write(rec TrialRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		j.err = err
+		return err
+	}
+	j.n++
+	return nil
+}
+
+// Count reports the number of records written so far.
+func (j *JSONLWriter) Count() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL parses a JSONL stream back into records — the offline half of
+// the export path, used by tests and analysis tooling.
+func ReadJSONL(r io.Reader) ([]TrialRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []TrialRecord
+	for dec.More() {
+		var rec TrialRecord
+		if err := dec.Decode(&rec); err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package metrics
+
+// Snapshot is a point-in-time copy of a Registry, as plain data: it
+// marshals to/from JSON losslessly (the round trip is a test invariant) and
+// is what the JSONL exporter streams per trial.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is a Histogram's state: bucket i counts observations v
+// with Bounds[i-1] < v <= Bounds[i]; the final bucket counts v > the last
+// bound. Min and Max are exact; quantiles are bucket-resolution estimates.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Bounds  []int64 `json:"bounds,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observation, 0 when empty.
+func (h HistogramSnapshot) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) as the upper bound of the
+// bucket containing it, clamped to [Min, Max] so exact extremes are never
+// overshot. Returns 0 when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Count-1))
+	var seen int64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			var v int64
+			if i < len(h.Bounds) {
+				v = h.Bounds[i]
+			} else {
+				v = h.Max
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			if v < h.Min {
+				v = h.Min
+			}
+			return v
+		}
+	}
+	return h.Max
+}

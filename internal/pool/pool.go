@@ -20,6 +20,8 @@ package pool
 import (
 	"sync"
 	"time"
+
+	"nodefz/internal/metrics"
 )
 
 // Task is one unit of work offloaded to the pool, like a libuv uv_work_t:
@@ -81,6 +83,9 @@ type Config struct {
 	// poll phase (zero when it is not). Used for the "epoll threshold" wait
 	// limit. Nil means the limit is ignored.
 	TimeInPoll func() time.Duration
+	// Metrics receives pool activity: task/done queue depths, task
+	// durations, worker busy time. Nil creates a private registry.
+	Metrics *metrics.Registry
 }
 
 // Pool is a worker pool. Create with New, feed with Submit, and shut down
@@ -97,6 +102,15 @@ type Pool struct {
 
 	// stats, guarded by mu
 	executed int
+
+	// Metric handles, resolved once in New (lock-free to record).
+	mSubmitted  *metrics.Counter   // pool.tasks_submitted
+	mExecuted   *metrics.Counter   // pool.tasks_executed
+	mBusyNS     *metrics.Counter   // pool.busy_ns: total worker time in task Fns
+	mQueueDepth *metrics.Histogram // pool.queue_depth: task queue length at submit
+	mDoneDepth  *metrics.Histogram // pool.done_depth: multiplexed done-queue length
+	mPickWindow *metrics.Histogram // pool.pick_window: lookahead window at each take
+	mTaskNS     *metrics.Histogram // pool.task_ns: per-task execution time
 }
 
 // New starts the worker goroutines and returns the pool.
@@ -110,7 +124,17 @@ func New(cfg Config) *Pool {
 	if cfg.Post == nil {
 		panic("pool: Config.Post is required")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	p := &Pool{cfg: cfg}
+	p.mSubmitted = cfg.Metrics.Counter("pool.tasks_submitted")
+	p.mExecuted = cfg.Metrics.Counter("pool.tasks_executed")
+	p.mBusyNS = cfg.Metrics.Counter("pool.busy_ns")
+	p.mQueueDepth = cfg.Metrics.Histogram("pool.queue_depth", metrics.DepthBounds())
+	p.mDoneDepth = cfg.Metrics.Histogram("pool.done_depth", metrics.DepthBounds())
+	p.mPickWindow = cfg.Metrics.Histogram("pool.pick_window", metrics.DepthBounds())
+	p.mTaskNS = cfg.Metrics.Histogram("pool.task_ns", metrics.DurationBounds())
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(cfg.Size)
 	for i := 0; i < cfg.Size; i++ {
@@ -125,7 +149,10 @@ func New(cfg Config) *Pool {
 func (p *Pool) Submit(t *Task) {
 	p.mu.Lock()
 	p.queue = append(p.queue, t)
+	depth := len(p.queue)
 	p.mu.Unlock()
+	p.mSubmitted.Inc()
+	p.mQueueDepth.Observe(int64(depth))
 	p.cond.Broadcast()
 }
 
@@ -184,7 +211,11 @@ func (p *Pool) worker() {
 		if p.cfg.Record != nil {
 			p.cfg.Record("work", t.Name)
 		}
+		start := time.Now()
 		t.result, t.err = t.Fn()
+		busy := time.Since(start)
+		p.mBusyNS.Add(int64(busy))
+		p.mTaskNS.Observe(int64(busy))
 		if p.cfg.RunLock != nil {
 			p.cfg.RunLock.Unlock()
 		}
@@ -232,6 +263,7 @@ func (p *Pool) take() (t *Task, ok bool) {
 	if dof > 0 && dof < window {
 		window = dof
 	}
+	p.mPickWindow.Observe(int64(window))
 	i := 0
 	if window > 1 {
 		i = p.cfg.Picker.PickTask(window)
@@ -242,6 +274,7 @@ func (p *Pool) take() (t *Task, ok bool) {
 	t = p.queue[i]
 	p.queue = append(p.queue[:i:i], p.queue[i+1:]...)
 	p.executed++
+	p.mExecuted.Inc()
 	return t, true
 }
 
@@ -257,6 +290,7 @@ func (p *Pool) take2() (*Task, bool) {
 	t := p.queue[0]
 	p.queue = p.queue[1:]
 	p.executed++
+	p.mExecuted.Inc()
 	return t, true
 }
 
@@ -275,7 +309,9 @@ func (p *Pool) complete(t *Task) {
 	p.mu.Lock()
 	p.doneq = append(p.doneq, t)
 	first := len(p.doneq) == 1
+	depth := len(p.doneq)
 	p.mu.Unlock()
+	p.mDoneDepth.Observe(int64(depth))
 	if first {
 		// One wakeup drains the whole done queue: the multiplexing that
 		// §4.3.1 calls out as hostile to fuzzing. Every done callback that
