@@ -1,0 +1,145 @@
+package campaign
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"nodefz/internal/core"
+)
+
+// Arm is one scheduler parameterization the bandit chooses among.
+type Arm struct {
+	Name   string
+	Params core.Params
+}
+
+// DefaultArms returns the campaign's arm set: the paper's standard
+// parameterization (Table 3), the §5.2.3 guided-timer one, and three
+// sweep-derived variants — each pushing one of the Table 3 deferral knobs
+// the `fzbench -exp sweep` ablation varies (timer, epoll, close) well above
+// its standard value, so the bandit can discover which axis of perturbation
+// a particular bug rewards.
+func DefaultArms() []Arm {
+	timerHeavy := core.StandardParams()
+	timerHeavy.TimerDeferralPct = 60
+	epollHeavy := core.StandardParams()
+	epollHeavy.EpollDeferralPct = 40
+	closeHeavy := core.StandardParams()
+	closeHeavy.CloseDeferralPct = 50
+	return []Arm{
+		{Name: "standard", Params: core.StandardParams()},
+		{Name: "guided-timer", Params: core.GuidedTimerParams()},
+		{Name: "timer-heavy", Params: timerHeavy},
+		{Name: "epoll-heavy", Params: epollHeavy},
+		{Name: "close-heavy", Params: closeHeavy},
+	}
+}
+
+// UCB is a UCB1 multi-armed bandit (Auer et al.; T-Scheduler applies the
+// same family to fuzzer seed scheduling). Select returns the arm maximizing
+//
+//	mean(arm) + sqrt(2 ln N / pulls(arm))
+//
+// with untried arms taking absolute priority in index order and exact ties
+// broken by a seeded RNG, so a fixed (seed, reward sequence) pair replays
+// the same selection sequence. Rewards should lie in [0, 1]; the campaign
+// pays 0.5 * novelty + 0.5 * manifested.
+type UCB struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	pulls []int
+	sum   []float64
+	total int
+}
+
+// ArmStat is one arm's accumulated statistics.
+type ArmStat struct {
+	Pulls  int     `json:"pulls"`
+	Reward float64 `json:"reward"`
+}
+
+// Mean is the arm's average reward (0 before the first pull).
+func (s ArmStat) Mean() float64 {
+	if s.Pulls == 0 {
+		return 0
+	}
+	return s.Reward / float64(s.Pulls)
+}
+
+// NewUCB builds a bandit over n arms with a seeded tie-break RNG.
+func NewUCB(n int, seed int64) *UCB {
+	return &UCB{
+		rng:   rand.New(rand.NewSource(seed)),
+		pulls: make([]int, n),
+		sum:   make([]float64, n),
+	}
+}
+
+// Select picks the next arm to play. Select and Update are separate calls
+// because the campaign plays many arms concurrently: an arm is selected at
+// dispatch time and rewarded when its trial completes.
+func (b *UCB) Select() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, p := range b.pulls {
+		if p == 0 {
+			b.pulls[i]++ // provisional pull so concurrent selects spread out
+			b.total++
+			return i
+		}
+	}
+	best, bestScore, ties := -1, math.Inf(-1), 0
+	lnN := math.Log(float64(b.total))
+	for i, p := range b.pulls {
+		score := b.sum[i]/float64(p) + math.Sqrt(2*lnN/float64(p))
+		switch {
+		case score > bestScore:
+			best, bestScore, ties = i, score, 1
+		case score == bestScore:
+			// Reservoir tie-break: uniform among tied arms, deterministic
+			// under the seeded RNG.
+			ties++
+			if b.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	b.pulls[best]++
+	b.total++
+	return best
+}
+
+// Update credits reward to arm. The pull itself was counted by Select; a
+// resume path that replays journaled (arm, reward) pairs uses Replay
+// instead.
+func (b *UCB) Update(arm int, reward float64) {
+	b.mu.Lock()
+	b.sum[arm] += reward
+	b.mu.Unlock()
+}
+
+// Replay restores one journaled pull: it counts the pull and credits the
+// reward in a single step. Statistics are sums, so replay order does not
+// matter.
+func (b *UCB) Replay(arm int, reward float64) {
+	if arm < 0 || arm >= len(b.pulls) {
+		return
+	}
+	b.mu.Lock()
+	b.pulls[arm]++
+	b.total++
+	b.sum[arm] += reward
+	b.mu.Unlock()
+}
+
+// Stats snapshots all arms.
+func (b *UCB) Stats() []ArmStat {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ArmStat, len(b.pulls))
+	for i := range out {
+		out[i] = ArmStat{Pulls: b.pulls[i], Reward: b.sum[i]}
+	}
+	return out
+}

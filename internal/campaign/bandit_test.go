@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// rewardScript is a fixed deterministic reward function for bandit tests.
+func rewardScript(arm, step int) float64 {
+	return math.Abs(math.Sin(float64(arm*31+step*7))) // stable in [0,1]
+}
+
+func TestUCBSelectionDeterministicUnderSeededRNG(t *testing.T) {
+	play := func(seed int64) []int {
+		b := NewUCB(4, seed)
+		var picks []int
+		for step := 0; step < 200; step++ {
+			a := b.Select()
+			picks = append(picks, a)
+			b.Update(a, rewardScript(a, step))
+		}
+		return picks
+	}
+	p1, p2 := play(11), play(11)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different selection sequences")
+	}
+}
+
+func TestUCBUntriedArmsFirst(t *testing.T) {
+	b := NewUCB(5, 1)
+	for i := 0; i < 5; i++ {
+		if got := b.Select(); got != i {
+			t.Fatalf("pull %d selected arm %d; untried arms must go first in index order", i, got)
+		}
+		b.Update(i, 0)
+	}
+}
+
+func TestUCBExploitsTheBestArm(t *testing.T) {
+	b := NewUCB(3, 1)
+	pulls := make([]int, 3)
+	for step := 0; step < 300; step++ {
+		a := b.Select()
+		pulls[a]++
+		r := 0.1
+		if a == 2 {
+			r = 0.9
+		}
+		b.Update(a, r)
+	}
+	if pulls[2] <= pulls[0] || pulls[2] <= pulls[1] {
+		t.Fatalf("UCB1 failed to favour the high-reward arm: pulls=%v", pulls)
+	}
+	// Exploration term must keep every arm alive.
+	if pulls[0] == 0 || pulls[1] == 0 {
+		t.Fatalf("UCB1 starved an arm entirely: pulls=%v", pulls)
+	}
+}
+
+func TestUCBRewardAccounting(t *testing.T) {
+	b := NewUCB(2, 1)
+	a0 := b.Select() // arm 0 (untried first)
+	b.Update(a0, 0.25)
+	a1 := b.Select() // arm 1
+	b.Update(a1, 0.75)
+	a := b.Select()
+	b.Update(a, 0.5)
+	stats := b.Stats()
+	totalPulls, totalReward := 0, 0.0
+	for _, s := range stats {
+		totalPulls += s.Pulls
+		totalReward += s.Reward
+	}
+	if totalPulls != 3 {
+		t.Errorf("total pulls = %d, want 3", totalPulls)
+	}
+	if math.Abs(totalReward-1.5) > 1e-12 {
+		t.Errorf("total reward = %v, want 1.5", totalReward)
+	}
+	if stats[0].Pulls == 0 || stats[1].Pulls == 0 {
+		t.Errorf("both arms should have been pulled: %+v", stats)
+	}
+	if got := (ArmStat{Pulls: 4, Reward: 1.0}).Mean(); got != 0.25 {
+		t.Errorf("Mean = %v, want 0.25", got)
+	}
+	if got := (ArmStat{}).Mean(); got != 0 {
+		t.Errorf("Mean of unpulled arm = %v, want 0", got)
+	}
+}
+
+func TestUCBReplayIsOrderIndependent(t *testing.T) {
+	type pull struct {
+		arm    int
+		reward float64
+	}
+	pulls := []pull{{0, 0.1}, {1, 0.9}, {0, 0.3}, {2, 0.5}, {1, 0.8}}
+	forward, backward := NewUCB(3, 7), NewUCB(3, 7)
+	for _, p := range pulls {
+		forward.Replay(p.arm, p.reward)
+	}
+	for i := len(pulls) - 1; i >= 0; i-- {
+		backward.Replay(pulls[i].arm, pulls[i].reward)
+	}
+	if !reflect.DeepEqual(forward.Stats(), backward.Stats()) {
+		t.Fatal("replay order changed bandit statistics")
+	}
+	// Out-of-range arms (journal from a different arm-set) are ignored.
+	forward.Replay(99, 1.0)
+	forward.Replay(-1, 1.0)
+	if !reflect.DeepEqual(forward.Stats(), backward.Stats()) {
+		t.Fatal("out-of-range replay mutated statistics")
+	}
+}
+
+// TestUCBConcurrentUse exercises Select/Update from many goroutines; the
+// -race run in CI is the actual assertion.
+func TestUCBConcurrentUse(t *testing.T) {
+	b := NewUCB(4, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := b.Select()
+				b.Update(a, rewardScript(a, i))
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range b.Stats() {
+		total += s.Pulls
+	}
+	if total != 800 {
+		t.Fatalf("lost pulls under concurrency: %d", total)
+	}
+}

@@ -1,0 +1,388 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/core"
+	"nodefz/internal/metrics"
+	"nodefz/internal/sched"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultNoveltyThreshold = 0.15
+	DefaultCorpusCapacity   = 64
+	DefaultScheduleTruncate = 256
+	DefaultMinimizeBudget   = 64
+	DefaultMinimizeTrials   = 1
+	// checkpointEvery is how many completed trials separate periodic
+	// checkpoint summary records in the journal.
+	checkpointEvery = 16
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// App is the bug application under test (required).
+	App *bugs.App
+	// Fixed runs the patched variant instead of the buggy one.
+	Fixed bool
+	// Trials is the total number of trials the campaign comprises,
+	// including any completed by previous runs being resumed (required).
+	Trials int
+	// Workers bounds the trial executor's pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// BaseSeed feeds TrialSeed; trial i always runs with
+	// TrialSeed(BaseSeed, i), independent of interleaving or resume.
+	BaseSeed int64
+	// Budget, when > 0, is the wall-clock budget: no new trial starts after
+	// it elapses (in-flight trials finish). A budget stop leaves the journal
+	// resumable.
+	Budget time.Duration
+
+	// NoveltyThreshold is the corpus admission threshold (0 means
+	// DefaultNoveltyThreshold; negative means literally 0, admit any
+	// non-duplicate).
+	NoveltyThreshold float64
+	// CorpusCapacity bounds the corpus (<= 0 means DefaultCorpusCapacity).
+	CorpusCapacity int
+	// ScheduleTruncate bounds the compared/stored schedule prefix
+	// (<= 0 means DefaultScheduleTruncate).
+	ScheduleTruncate int
+
+	// Arms is the bandit's arm set; nil means DefaultArms().
+	Arms []Arm
+
+	// MinimizeTrials caps how many manifesting trials are delta-debugged
+	// (< 0 disables minimization; 0 means DefaultMinimizeTrials).
+	MinimizeTrials int
+	// MinimizeBudget caps replays per minimization (<= 0 means
+	// DefaultMinimizeBudget).
+	MinimizeBudget int
+
+	// CheckpointPath, when set, is the JSONL checkpoint journal.
+	CheckpointPath string
+	// Resume loads CheckpointPath and skips journaled trials instead of
+	// truncating the journal.
+	Resume bool
+
+	// Metrics, when non-nil, receives one metrics.TrialRecord per executed
+	// trial (the same JSONL stream fzrun/fzbench emit), with Mode set to
+	// "campaign/<arm>".
+	Metrics *metrics.JSONLWriter
+
+	// Progress, when non-nil, receives one line per executed trial; the CLI
+	// uses it for streaming output. Called concurrently.
+	Progress func(TrialEntry)
+}
+
+func (c Config) withDefaults() Config {
+	if c.NoveltyThreshold == 0 {
+		c.NoveltyThreshold = DefaultNoveltyThreshold
+	} else if c.NoveltyThreshold < 0 {
+		c.NoveltyThreshold = 0
+	}
+	if c.CorpusCapacity <= 0 {
+		c.CorpusCapacity = DefaultCorpusCapacity
+	}
+	if c.ScheduleTruncate <= 0 {
+		c.ScheduleTruncate = DefaultScheduleTruncate
+	}
+	if c.Arms == nil {
+		c.Arms = DefaultArms()
+	}
+	if c.MinimizeTrials == 0 {
+		c.MinimizeTrials = DefaultMinimizeTrials
+	}
+	if c.MinimizeBudget <= 0 {
+		c.MinimizeBudget = DefaultMinimizeBudget
+	}
+	return c
+}
+
+// Result summarizes a campaign run (cumulative across resumes).
+type Result struct {
+	// Trials is the configured campaign size.
+	Trials int
+	// Done counts completed trials, including resumed ones.
+	Done int
+	// Resumed counts trials skipped because the journal showed them done.
+	Resumed int
+	// Stopped counts trials not started because the budget elapsed.
+	Stopped int
+	// Manifested counts manifesting trials (cumulative).
+	Manifested int
+	// Watermark is the contiguous completed-trial prefix length.
+	Watermark int
+	// CorpusLen is the final corpus size.
+	CorpusLen int
+	// Arms pairs each arm with its cumulative bandit statistics.
+	Arms []ArmResult
+	// Minimized holds every minimization performed (cumulative).
+	Minimized []MinimizedEntry
+	// FirstNote is the first manifesting trial's detector note.
+	FirstNote string
+}
+
+// ArmResult is one arm's campaign-level statistics.
+type ArmResult struct {
+	Name string
+	ArmStat
+	Manifested int
+}
+
+// Run executes (or resumes) a campaign. It returns an error only for setup
+// and journal problems; trial outcomes are data, not errors.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.App == nil {
+		return nil, errors.New("campaign: Config.App is required")
+	}
+	if cfg.Trials <= 0 {
+		return nil, errors.New("campaign: Config.Trials must be positive")
+	}
+	run := cfg.App.Run
+	if cfg.Fixed {
+		if cfg.App.RunFixed == nil {
+			return nil, fmt.Errorf("campaign: %s has no modelled fix", cfg.App.Abbr)
+		}
+		run = cfg.App.RunFixed
+	}
+
+	corpus := NewCorpus(cfg.NoveltyThreshold, cfg.CorpusCapacity, cfg.ScheduleTruncate)
+	bandit := NewUCB(len(cfg.Arms), cfg.BaseSeed)
+	res := &Result{Trials: cfg.Trials}
+
+	// Resume: rebuild corpus, bandit, and the done-set from the journal.
+	done := make(map[int]TrialEntry)
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		st, err := LoadJournal(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		// Re-admit the admitted schedules in trial-journal order first (the
+		// corpus state replays exactly), then mark every offered digest so
+		// previously rejected schedules stay duplicates.
+		replay := make([]TrialEntry, 0, len(st.Trials))
+		for _, e := range st.Trials {
+			replay = append(replay, e)
+		}
+		sort.Slice(replay, func(i, j int) bool { return replay[i].Trial < replay[j].Trial })
+		for _, e := range replay {
+			if e.Admitted {
+				corpus.Admit(e.Schedule)
+			}
+		}
+		for _, e := range replay {
+			corpus.MarkSeen(e.Digest)
+			bandit.Replay(e.Arm, e.Reward)
+			done[e.Trial] = e
+			if e.Manifested {
+				res.Manifested++
+				if res.FirstNote == "" {
+					res.FirstNote = e.Note
+				}
+			}
+		}
+		res.Minimized = append(res.Minimized, st.Minimized...)
+		res.Resumed = len(done)
+		res.Done = len(done)
+	}
+
+	var journal *Journal
+	if cfg.CheckpointPath != "" {
+		var err error
+		journal, err = OpenJournal(cfg.CheckpointPath, !cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	var deadline time.Time
+	if cfg.Budget > 0 {
+		deadline = time.Now().Add(cfg.Budget)
+	}
+
+	// done is read-only from here on (workers consult it lock-free);
+	// completed tracks this run's progress under mu.
+	completed := make(map[int]bool, len(done))
+	for i := range done {
+		completed[i] = true
+	}
+
+	var (
+		mu           sync.Mutex // guards res, completed, minimize slots
+		minimizeLeft = cfg.MinimizeTrials
+	)
+	armManifested := make([]int, len(cfg.Arms))
+
+	writeCheckpoint := func() {
+		if journal == nil {
+			return
+		}
+		mu.Lock()
+		entry := CheckpointEntry{
+			Type:       "checkpoint",
+			Trials:     cfg.Trials,
+			Done:       res.Done,
+			Watermark:  watermarkOf(completed),
+			Manifested: res.Manifested,
+			CorpusLen:  corpus.Len(),
+			Arms:       bandit.Stats(),
+		}
+		mu.Unlock()
+		_ = journal.Append(entry)
+	}
+
+	Executor{Workers: cfg.Workers}.Run(cfg.Trials, func(i int) {
+		if _, ok := done[i]; ok {
+			return // completed by a previous run; done is read-only here
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			mu.Lock()
+			res.Stopped++
+			mu.Unlock()
+			return
+		}
+
+		seed := TrialSeed(cfg.BaseSeed, i)
+		arm := bandit.Select()
+		inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
+		recording := core.NewRecording(inner)
+		rec := sched.NewRecorder()
+		runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec}
+		var reg *metrics.Registry
+		if cfg.Metrics != nil {
+			reg = metrics.NewRegistry()
+			runCfg.Metrics = reg
+			runCfg.LagProbeEvery = 2 * time.Millisecond
+		}
+
+		start := time.Now()
+		out := run(runCfg)
+		elapsed := time.Since(start)
+
+		types := rec.Types()
+		adm := corpus.Admit(sched.Truncate(types, cfg.ScheduleTruncate))
+		reward := 0.5 * adm.Novelty
+		if out.Manifested {
+			reward += 0.5
+		}
+		bandit.Update(arm, reward)
+
+		entry := TrialEntry{
+			Type:       "trial",
+			Trial:      i,
+			Seed:       seed,
+			Arm:        arm,
+			ArmName:    cfg.Arms[arm].Name,
+			Manifested: out.Manifested,
+			Note:       out.Note,
+			Novelty:    adm.Novelty,
+			Admitted:   adm.Admitted,
+			Duplicate:  adm.Duplicate,
+			Digest:     sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
+			Reward:     reward,
+			ElapsedMS:  elapsed.Milliseconds(),
+		}
+		if adm.Admitted {
+			entry.Schedule = sched.Truncate(types, cfg.ScheduleTruncate)
+		}
+
+		var minEntry *MinimizedEntry
+		if out.Manifested {
+			mu.Lock()
+			doMin := minimizeLeft > 0
+			if doMin {
+				minimizeLeft--
+			}
+			mu.Unlock()
+			if doMin {
+				m := MinimizeTrace(run, seed, recording.Trace(), cfg.MinimizeBudget)
+				minEntry = &MinimizedEntry{
+					Type:       "minimized",
+					Trial:      i,
+					Seed:       seed,
+					Original:   m.Original,
+					Minimal:    m.Minimal(),
+					Points:     m.Points,
+					Replays:    m.Replays,
+					Reproduced: m.Reproduced,
+				}
+			}
+		}
+
+		if journal != nil {
+			_ = journal.Append(entry)
+			if minEntry != nil {
+				_ = journal.Append(*minEntry)
+			}
+		}
+		if cfg.Metrics != nil {
+			d, _ := core.DecisionsOf(recording)
+			d.FoldInto(reg)
+			_ = cfg.Metrics.Write(metrics.TrialRecord{
+				Bug:        cfg.App.Abbr,
+				Mode:       "campaign/" + cfg.Arms[arm].Name,
+				Seed:       seed,
+				Trial:      i,
+				Manifested: out.Manifested,
+				Note:       out.Note,
+				Metrics:    reg.Snapshot(),
+				Schedule:   sched.Truncate(types, cfg.ScheduleTruncate),
+			})
+		}
+
+		mu.Lock()
+		res.Done++
+		if out.Manifested {
+			res.Manifested++
+			armManifested[arm]++
+			if res.FirstNote == "" {
+				res.FirstNote = out.Note
+			}
+		}
+		if minEntry != nil {
+			res.Minimized = append(res.Minimized, *minEntry)
+		}
+		completed[i] = true
+		doneCount := res.Done
+		mu.Unlock()
+
+		if cfg.Progress != nil {
+			cfg.Progress(entry)
+		}
+		if doneCount%checkpointEvery == 0 {
+			writeCheckpoint()
+		}
+	})
+
+	res.Watermark = watermarkOf(completed)
+	res.CorpusLen = corpus.Len()
+	stats := bandit.Stats()
+	res.Arms = make([]ArmResult, len(cfg.Arms))
+	for i, a := range cfg.Arms {
+		res.Arms[i] = ArmResult{Name: a.Name, ArmStat: stats[i], Manifested: armManifested[i]}
+	}
+	writeCheckpoint()
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// watermarkOf computes the contiguous completed prefix of the done-set.
+func watermarkOf(done map[int]bool) int {
+	w := 0
+	for done[w] {
+		w++
+	}
+	return w
+}

@@ -1,0 +1,274 @@
+package campaign
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/metrics"
+)
+
+// newFakeApp builds a deterministic, loop-free bug application: schedule
+// and manifestation are pure functions of the trial seed, and exec counts
+// how many times each seed's trial body ran (minimization replays excluded
+// by construction only when MinimizeTrials < 0).
+func newFakeApp(exec map[int64]int, mu *sync.Mutex) *bugs.App {
+	return &bugs.App{
+		Abbr: "FAKE",
+		Run: func(cfg bugs.RunConfig) bugs.Outcome {
+			if exec != nil {
+				mu.Lock()
+				exec[cfg.Seed]++
+				mu.Unlock()
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			kinds := []string{"timer", "net-read", "work-done", "close"}
+			n := 4 + rng.Intn(12)
+			for i := 0; i < n; i++ {
+				// Draw unconditionally so the rng stream — and therefore the
+				// manifestation decision — is identical under minimization
+				// replays, which pass no Recorder.
+				kind := kinds[rng.Intn(len(kinds))]
+				if cfg.Recorder != nil {
+					cfg.Recorder.Record(kind, "")
+				}
+				cfg.Scheduler.FilterTimers(i%2 + 1)
+				cfg.Scheduler.DeferClose("h")
+			}
+			if rng.Intn(4) == 0 {
+				return bugs.Outcome{Manifested: true, Note: "fake race"}
+			}
+			return bugs.Outcome{}
+		},
+	}
+}
+
+func TestCampaignCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	var mu sync.Mutex
+	exec := make(map[int64]int)
+	app := newFakeApp(exec, &mu)
+
+	cfg := Config{
+		App: app, Trials: 6, Workers: 2, BaseSeed: 42,
+		CheckpointPath: path, MinimizeTrials: -1,
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Done != 6 || r1.Resumed != 0 || r1.Watermark != 6 {
+		t.Fatalf("first run: %+v", r1)
+	}
+
+	cfg.Trials = 14
+	cfg.Resume = true
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Resumed != 6 {
+		t.Errorf("Resumed = %d, want 6", r2.Resumed)
+	}
+	if r2.Done != 14 || r2.Watermark != 14 {
+		t.Errorf("resumed run: Done=%d Watermark=%d, want 14/14", r2.Done, r2.Watermark)
+	}
+
+	// No trial body may have run twice: resume must skip completed trials.
+	if len(exec) != 14 {
+		t.Errorf("%d distinct seeds executed, want 14", len(exec))
+	}
+	for seed, n := range exec {
+		if n != 1 {
+			t.Errorf("seed %d executed %d times", seed, n)
+		}
+	}
+
+	// The journal is the source of truth: 14 trials, correct derived seeds,
+	// watermark 14, and cumulative bandit statistics covering every trial.
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trials) != 14 || st.Watermark() != 14 {
+		t.Fatalf("journal: %d trials, watermark %d", len(st.Trials), st.Watermark())
+	}
+	manifested := 0
+	for i, e := range st.Trials {
+		if e.Seed != TrialSeed(42, i) {
+			t.Errorf("trial %d journaled seed %d, want %d", i, e.Seed, TrialSeed(42, i))
+		}
+		if e.Manifested {
+			manifested++
+		}
+	}
+	if manifested != r2.Manifested {
+		t.Errorf("journal shows %d manifested, result says %d", manifested, r2.Manifested)
+	}
+	pulls := 0
+	for _, a := range r2.Arms {
+		pulls += a.Pulls
+	}
+	if pulls != 14 {
+		t.Errorf("bandit pulls = %d, want 14 (6 replayed + 8 live)", pulls)
+	}
+}
+
+func TestCampaignResumeAfterKillTornJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	app := newFakeApp(nil, nil)
+	if _, err := Run(Config{App: app, Trials: 4, Workers: 2, BaseSeed: 7,
+		CheckpointPath: path, MinimizeTrials: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a SIGKILL mid-append: a torn, newline-less final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"trial","tri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal must load: %v", err)
+	}
+	if !st.TornTail || len(st.Trials) != 4 {
+		t.Fatalf("torn load: TornTail=%v trials=%d", st.TornTail, len(st.Trials))
+	}
+
+	r, err := Run(Config{App: app, Trials: 9, Workers: 2, BaseSeed: 7,
+		CheckpointPath: path, Resume: true, MinimizeTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resumed != 4 || r.Done != 9 || r.Watermark != 9 {
+		t.Fatalf("resume over torn journal: %+v", r)
+	}
+	// The resumed run must not have concatenated onto the torn line: the
+	// final journal parses cleanly end to end.
+	st, err = LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trials) != 9 || st.Watermark() != 9 {
+		t.Fatalf("post-resume journal: %d trials, watermark %d", len(st.Trials), st.Watermark())
+	}
+}
+
+func TestCampaignBudgetStopsAndResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	app := newFakeApp(nil, nil)
+	r1, err := Run(Config{App: app, Trials: 5, Workers: 2, BaseSeed: 3,
+		Budget: time.Nanosecond, CheckpointPath: path, MinimizeTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Done != 0 || r1.Stopped != 5 || r1.Watermark != 0 {
+		t.Fatalf("budget stop: %+v", r1)
+	}
+	r2, err := Run(Config{App: app, Trials: 5, Workers: 2, BaseSeed: 3,
+		CheckpointPath: path, Resume: true, MinimizeTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Done != 5 || r2.Watermark != 5 {
+		t.Fatalf("resume after budget stop: %+v", r2)
+	}
+}
+
+func TestCampaignMinimizesAManifestingTrial(t *testing.T) {
+	app := newFakeApp(nil, nil)
+	res, err := Run(Config{App: app, Trials: 16, Workers: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Manifested == 0 {
+		t.Fatal("fixture produced no manifestation; pick a different BaseSeed")
+	}
+	if len(res.Minimized) != 1 {
+		t.Fatalf("MinimizeTrials defaults to 1, got %d minimizations", len(res.Minimized))
+	}
+	m := res.Minimized[0]
+	if !m.Reproduced {
+		t.Errorf("fake app manifests deterministically per seed; minimization must reproduce: %+v", m)
+	}
+	if m.Minimal != len(m.Points) {
+		t.Errorf("Minimal=%d inconsistent with %d points", m.Minimal, len(m.Points))
+	}
+}
+
+func TestCampaignMetricsStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := metrics.NewJSONLWriter(&buf)
+	app := newFakeApp(nil, nil)
+	res, err := Run(Config{App: app, Trials: 5, Workers: 2, BaseSeed: 9,
+		MinimizeTrials: -1, Metrics: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := metrics.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Done {
+		t.Fatalf("%d metrics records for %d trials", len(recs), res.Done)
+	}
+	for _, r := range recs {
+		if r.Bug != "FAKE" || len(r.Mode) < len("campaign/") || r.Mode[:len("campaign/")] != "campaign/" {
+			t.Fatalf("unexpected record identity: bug=%q mode=%q", r.Bug, r.Mode)
+		}
+		if len(r.Schedule) == 0 {
+			t.Fatal("metrics record missing type schedule")
+		}
+	}
+}
+
+func TestCampaignConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Trials: 1}); err == nil {
+		t.Error("nil App must error")
+	}
+	app := newFakeApp(nil, nil)
+	if _, err := Run(Config{App: app}); err == nil {
+		t.Error("zero Trials must error")
+	}
+	if _, err := Run(Config{App: app, Trials: 1, Fixed: true}); err == nil {
+		t.Error("Fixed without RunFixed must error")
+	}
+}
+
+// TestCampaignParallelThroughput is the acceptance benchmark: on a
+// multi-core runner, workers=4 must at least double trial throughput over
+// workers=1 for a real Table-2 bug app. Trials are sleep-bound (substrate
+// latencies), so the speedup is robust even under CPU contention.
+func TestCampaignParallelThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark; skipped in -short")
+	}
+	app := bugs.ByAbbr("SIO")
+	if app == nil {
+		t.Fatal("SIO missing from corpus")
+	}
+	const trials = 16
+	elapsed := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := Run(Config{App: app, Trials: trials, Workers: workers,
+			BaseSeed: 11, MinimizeTrials: -1}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	seq := elapsed(1)
+	par := elapsed(4)
+	t.Logf("workers=1: %v, workers=4: %v (%.1fx)", seq, par, float64(seq)/float64(par))
+	if par*2 > seq {
+		t.Errorf("workers=4 did not reach 2x throughput: sequential %v, parallel %v", seq, par)
+	}
+}

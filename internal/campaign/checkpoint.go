@@ -1,0 +1,280 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The checkpoint journal is append-only JSONL: one self-describing record
+// per line, distinguished by a "type" field. Three record types exist:
+//
+//   - "trial": one completed trial — everything resume needs to avoid
+//     re-running it and to rebuild the bandit and corpus;
+//   - "minimized": the delta-debugged perturbation set of a manifesting
+//     trial;
+//   - "checkpoint": a periodic summary (watermark, corpus size, arm stats),
+//     redundant with the trial records but cheap to read for monitoring.
+//
+// Each record is flushed to the OS as it is appended, so a SIGKILL loses at
+// most the line being written; the loader tolerates a torn final line.
+
+// TrialEntry journals one completed trial.
+type TrialEntry struct {
+	Type       string   `json:"type"` // "trial"
+	Trial      int      `json:"trial"`
+	Seed       int64    `json:"seed"`
+	Arm        int      `json:"arm"`
+	ArmName    string   `json:"arm_name"`
+	Manifested bool     `json:"manifested"`
+	Note       string   `json:"note,omitempty"`
+	Novelty    float64  `json:"novelty"`
+	Admitted   bool     `json:"admitted"`
+	Duplicate  bool     `json:"duplicate,omitempty"`
+	Digest     string   `json:"digest"`
+	Reward     float64  `json:"reward"`
+	ElapsedMS  int64    `json:"elapsed_ms"`
+	Schedule   []string `json:"schedule,omitempty"` // truncated; only when Admitted
+}
+
+// MinimizedEntry journals one minimized trace.
+type MinimizedEntry struct {
+	Type       string         `json:"type"` // "minimized"
+	Trial      int            `json:"trial"`
+	Seed       int64          `json:"seed"`
+	Original   int            `json:"original"`
+	Minimal    int            `json:"minimal"`
+	Points     []PerturbPoint `json:"points"`
+	Replays    int            `json:"replays"`
+	Reproduced bool           `json:"reproduced"`
+}
+
+// CheckpointEntry journals a periodic campaign summary.
+type CheckpointEntry struct {
+	Type       string    `json:"type"` // "checkpoint"
+	Trials     int       `json:"trials"`
+	Done       int       `json:"done"`
+	Watermark  int       `json:"watermark"`
+	Manifested int       `json:"manifested"`
+	CorpusLen  int       `json:"corpus"`
+	Arms       []ArmStat `json:"arms"`
+}
+
+// Journal appends records to a checkpoint file, one JSON line at a time,
+// flushing after every record. It is safe for concurrent use by trial
+// workers.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error
+}
+
+// OpenJournal opens path for appending (creating it if absent). With
+// truncate, any existing content is discarded first — the fresh-campaign
+// path; resume opens without truncation. On resume, a torn final line (the
+// writer was killed mid-append) is truncated away first, so appended
+// records never concatenate onto a partial one — the torn record was
+// already lost the moment the kill landed.
+func OpenJournal(path string, truncate bool) (*Journal, error) {
+	if !truncate {
+		if err := truncateTornTail(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if truncate {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// truncateTornTail truncates path to the end of its last newline-terminated
+// line. A missing file is fine; a file with no newline at all becomes
+// empty.
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	buf := make([]byte, 64<<10)
+	end := size
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		start := end - n
+		if _, err := f.ReadAt(buf[:n], start); err != nil {
+			return err
+		}
+		for i := n - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				cut := start + i + 1
+				if cut < size {
+					return f.Truncate(cut)
+				}
+				return nil
+			}
+		}
+		end = start
+	}
+	if size > 0 {
+		return f.Truncate(0)
+	}
+	return nil
+}
+
+// Append writes one record and flushes it. Errors are sticky.
+func (j *Journal) Append(rec any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Err returns the first append error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// JournalState is everything a resumed campaign rebuilds from the journal.
+type JournalState struct {
+	// Trials maps completed trial index -> its journal entry.
+	Trials map[int]TrialEntry
+	// Minimized holds the journaled minimizations, in journal order.
+	Minimized []MinimizedEntry
+	// TornTail is true when the final line failed to parse (the writer was
+	// killed mid-append); the loader stops there and keeps what it has.
+	TornTail bool
+}
+
+// Watermark returns the completed-trial watermark: the length of the
+// contiguous prefix 0..k-1 of completed trials. Trials completed beyond a
+// hole (possible when a budget stop or kill interrupts out-of-order
+// workers) sit above the watermark but are still skipped on resume.
+func (s *JournalState) Watermark() int {
+	w := 0
+	for {
+		if _, ok := s.Trials[w]; !ok {
+			return w
+		}
+		w++
+	}
+}
+
+// LoadJournal reads a checkpoint journal. A missing file yields an empty
+// state and no error (resuming a campaign that never started is a fresh
+// start). A torn final line is tolerated; a malformed line earlier in the
+// file is an error, because records after it may silently be lost.
+func LoadJournal(path string) (*JournalState, error) {
+	st := &JournalState{Trials: make(map[int]TrialEntry)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	sawTail := false
+	for sc.Scan() {
+		lineNo++
+		if sawTail {
+			return nil, fmt.Errorf("campaign: journal %s line %d: records after a malformed line", path, lineNo)
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			// Possibly the torn final line; flag it and fail only if more
+			// records follow.
+			sawTail = true
+			st.TornTail = true
+			continue
+		}
+		switch kind.Type {
+		case "trial":
+			var e TrialEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				sawTail = true
+				st.TornTail = true
+				continue
+			}
+			st.Trials[e.Trial] = e
+		case "minimized":
+			var e MinimizedEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				sawTail = true
+				st.TornTail = true
+				continue
+			}
+			st.Minimized = append(st.Minimized, e)
+		case "checkpoint":
+			// Summaries are derivable from the trial records; skip.
+		default:
+			return nil, fmt.Errorf("campaign: journal %s line %d: unknown record type %q", path, lineNo, kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

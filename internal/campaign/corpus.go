@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"strconv"
+	"sync"
+
+	"nodefz/internal/sched"
+)
+
+// Corpus is the campaign's schedule corpus: a bounded set of type schedules
+// (§5.3) retained because they were *novel* — far, in normalized Levenshtein
+// distance, from everything already in the corpus. It is the novelty-search
+// analogue of a coverage map: a trial whose schedule lands near an existing
+// corpus member taught us little; one that lands far away opened new
+// schedule space, and its distance feeds the bandit's reward.
+//
+// Admission rules:
+//
+//   - exact duplicates (by digest) of any schedule ever offered are rejected
+//     outright, before the Levenshtein pass, so duplicate admission is
+//     order-insensitive: the first offer decides, repeats never mutate state;
+//   - a schedule is admitted only when its distance to its nearest corpus
+//     neighbour strictly exceeds the novelty threshold (distance exactly at
+//     the threshold is rejected);
+//   - at capacity, admitting evicts the new schedule's nearest neighbour —
+//     the member it is most redundant with — keeping the corpus spread out.
+//
+// Corpus is safe for concurrent use by the campaign's trial workers.
+type Corpus struct {
+	threshold float64
+	capacity  int
+	truncate  int
+
+	mu      sync.Mutex
+	entries []corpusEntry
+	seen    map[uint64]bool // digest of every schedule ever offered
+}
+
+type corpusEntry struct {
+	digest uint64
+	types  []string
+}
+
+// Admission reports the outcome of one Corpus.Admit call.
+type Admission struct {
+	// Novelty is the normalized Levenshtein distance to the nearest corpus
+	// member at offer time (1 for the first offer, 0 for exact duplicates).
+	Novelty float64
+	// Admitted is true when the schedule entered the corpus.
+	Admitted bool
+	// Duplicate is true when the schedule's digest had been offered before.
+	Duplicate bool
+	// Evicted is true when admission displaced an existing member.
+	Evicted bool
+}
+
+// NewCorpus builds an empty corpus. threshold is the minimum nearest-
+// neighbour distance for admission (strictly greater-than); capacity bounds
+// the member count (<= 0 means DefaultCorpusCapacity); truncate bounds the
+// stored length of each schedule (<= 0 means DefaultScheduleTruncate) —
+// both the digest and the distance are computed over the truncated prefix,
+// bounding the O(n*m) Levenshtein cost per admission.
+func NewCorpus(threshold float64, capacity, truncate int) *Corpus {
+	if capacity <= 0 {
+		capacity = DefaultCorpusCapacity
+	}
+	if truncate <= 0 {
+		truncate = DefaultScheduleTruncate
+	}
+	return &Corpus{
+		threshold: threshold,
+		capacity:  capacity,
+		truncate:  truncate,
+		seen:      make(map[uint64]bool),
+	}
+}
+
+// Len reports the current member count.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Admit offers a type schedule to the corpus and reports what happened. The
+// offered slice is copied when retained; callers may reuse it.
+func (c *Corpus) Admit(types []string) Admission {
+	types = sched.Truncate(types, c.truncate)
+	d := sched.Digest(types)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen[d] {
+		return Admission{Duplicate: true}
+	}
+	c.seen[d] = true
+
+	pool := make([][]string, len(c.entries))
+	for i, e := range c.entries {
+		pool[i] = e.types
+	}
+	novelty, nearest := sched.NearestNLD(types, pool)
+	adm := Admission{Novelty: novelty}
+	if len(c.entries) > 0 && novelty <= c.threshold {
+		return adm
+	}
+	if len(c.entries) >= c.capacity {
+		// Displace the member the newcomer is most redundant with.
+		c.entries = append(c.entries[:nearest], c.entries[nearest+1:]...)
+		adm.Evicted = true
+	}
+	cp := make([]string, len(types))
+	copy(cp, types)
+	c.entries = append(c.entries, corpusEntry{digest: d, types: cp})
+	adm.Admitted = true
+	return adm
+}
+
+// Schedules returns copies of the member schedules in admission order —
+// what the checkpoint journal needs to rebuild the corpus on resume.
+func (c *Corpus) Schedules() [][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]string, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = append([]string(nil), e.types...)
+	}
+	return out
+}
+
+// MarkSeen records a hex digest (as journaled by a previous run) as already
+// offered, without admitting anything. Resume uses it so schedules that were
+// offered and rejected before a kill stay duplicates afterwards. Unparsable
+// digests are ignored.
+func (c *Corpus) MarkSeen(digestHex string) {
+	d, err := strconv.ParseUint(digestHex, 16, 64)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.seen[d] = true
+	c.mu.Unlock()
+}
+
+// Digests returns the member digests in admission order, hex-encoded.
+func (c *Corpus) Digests() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = sched.DigestString(e.digest)
+	}
+	return out
+}

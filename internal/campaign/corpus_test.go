@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"testing"
+
+	"nodefz/internal/sched"
+)
+
+func TestCorpusFirstAdmissionIsMaximallyNovel(t *testing.T) {
+	c := NewCorpus(0.5, 4, 0)
+	adm := c.Admit([]string{"a", "b"})
+	if !adm.Admitted || adm.Novelty != 1 || adm.Duplicate {
+		t.Fatalf("first admission: %+v", adm)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCorpusThresholdBoundary(t *testing.T) {
+	c := NewCorpus(0.5, 4, 0)
+	c.Admit([]string{"a", "b"})
+
+	// NLD([a b],[a c]) = 1/2 = exactly the threshold: must be rejected
+	// (admission requires strictly greater).
+	adm := c.Admit([]string{"a", "c"})
+	if adm.Admitted {
+		t.Fatalf("distance exactly at threshold must be rejected: %+v", adm)
+	}
+	if adm.Novelty != 0.5 {
+		t.Fatalf("Novelty = %v, want 0.5", adm.Novelty)
+	}
+
+	// NLD([a b],[c d]) = 1 > 0.5: admitted.
+	adm = c.Admit([]string{"c", "d"})
+	if !adm.Admitted || adm.Novelty != 1 {
+		t.Fatalf("distance above threshold must be admitted: %+v", adm)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCorpusDuplicateRejection(t *testing.T) {
+	c := NewCorpus(0.5, 4, 0)
+	c.Admit([]string{"a", "b", "c"})
+	adm := c.Admit([]string{"a", "b", "c"})
+	if adm.Admitted || !adm.Duplicate || adm.Novelty != 0 {
+		t.Fatalf("duplicate admission: %+v", adm)
+	}
+	// A schedule rejected by threshold is also remembered: re-offering it is
+	// a duplicate, not a second novelty computation.
+	rej := c.Admit([]string{"a", "b", "x"})
+	if rej.Admitted {
+		t.Fatalf("expected threshold rejection: %+v", rej)
+	}
+	again := c.Admit([]string{"a", "b", "x"})
+	if !again.Duplicate {
+		t.Fatalf("re-offered rejected schedule should be a duplicate: %+v", again)
+	}
+}
+
+func TestCorpusCapacityEvictsNearestNeighbour(t *testing.T) {
+	c := NewCorpus(0.2, 2, 0)
+	a := []string{"a", "a", "a", "a"}
+	b := []string{"b", "b", "b", "b"}
+	c.Admit(a)
+	c.Admit(b)
+
+	// NLD to b = 1/4 > 0.2, NLD to a = 1: nearest neighbour is b, which
+	// must be the one evicted.
+	incoming := []string{"b", "b", "b", "c"}
+	adm := c.Admit(incoming)
+	if !adm.Admitted || !adm.Evicted {
+		t.Fatalf("expected admission with eviction: %+v", adm)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, capacity exceeded or over-evicted", c.Len())
+	}
+	want := map[string]bool{
+		sched.DigestString(sched.Digest(a)):        true,
+		sched.DigestString(sched.Digest(incoming)): true,
+	}
+	for _, d := range c.Digests() {
+		if !want[d] {
+			t.Fatalf("unexpected member digest %s (b should have been evicted)", d)
+		}
+	}
+	// The evicted schedule's digest stays in the seen-set: re-offering it is
+	// still a duplicate, so corpora never thrash on a repeating schedule.
+	if adm := c.Admit(b); !adm.Duplicate {
+		t.Fatalf("evicted schedule re-offered should be duplicate: %+v", adm)
+	}
+}
+
+func TestCorpusTruncationBoundsComparison(t *testing.T) {
+	c := NewCorpus(0.1, 4, 3)
+	long1 := []string{"a", "b", "c", "d", "e"}
+	long2 := []string{"a", "b", "c", "x", "y"} // same truncated prefix
+	c.Admit(long1)
+	adm := c.Admit(long2)
+	if !adm.Duplicate {
+		t.Fatalf("schedules equal after truncation must be duplicates: %+v", adm)
+	}
+	for _, s := range c.Schedules() {
+		if len(s) > 3 {
+			t.Fatalf("stored schedule longer than truncate: %v", s)
+		}
+	}
+}
+
+func TestCorpusMarkSeen(t *testing.T) {
+	c := NewCorpus(0.1, 4, 0)
+	s := []string{"a", "b"}
+	c.MarkSeen(sched.DigestString(sched.Digest(s)))
+	if adm := c.Admit(s); !adm.Duplicate {
+		t.Fatalf("marked digest should be duplicate: %+v", adm)
+	}
+	c.MarkSeen("not-hex") // ignored, must not panic
+	if c.Len() != 0 {
+		t.Fatalf("MarkSeen must not admit: Len = %d", c.Len())
+	}
+}

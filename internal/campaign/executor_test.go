@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestExecutorRunsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 53
+		var mu sync.Mutex
+		counts := make([]int, n)
+		Executor{Workers: workers}.Run(n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestExecutorSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	Executor{Workers: 1}.Run(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("workers=1 not in index order: %v", order)
+		}
+	}
+}
+
+func TestExecutorZeroJobs(t *testing.T) {
+	Executor{Workers: 4}.Run(0, func(int) { t.Fatal("job ran") })
+	Executor{Workers: 4}.Run(-1, func(int) { t.Fatal("job ran") })
+}
+
+func TestTrialSeedDeterministicAndDispersed(t *testing.T) {
+	if TrialSeed(7, 3) != TrialSeed(7, 3) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	seen := make(map[int64]int)
+	for base := int64(0); base < 4; base++ {
+		for i := 0; i < 500; i++ {
+			s := TrialSeed(base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and earlier case %d -> %d", base, i, prev, s)
+			}
+			seen[s] = i
+		}
+	}
+	// Adjacent trials must not get adjacent seeds (the reason for the mix).
+	if TrialSeed(1, 1)-TrialSeed(1, 0) == 1 {
+		t.Error("adjacent trials got adjacent seeds")
+	}
+}

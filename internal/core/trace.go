@@ -48,6 +48,91 @@ type PickDecision struct {
 	I int `json:"i"`
 }
 
+// Perturbs reports whether the decision changed the schedule relative to
+// vanilla ordering (some timers deferred, or a delay injected).
+func (d TimerDecision) Perturbs() bool { return d.Run < d.Due || d.Delay > 0 }
+
+// Neutral returns the unperturbed form of the decision: run every due timer
+// immediately.
+func (d TimerDecision) Neutral() TimerDecision { return TimerDecision{Due: d.Due, Run: d.Due} }
+
+// Identity reports whether the shuffle kept arrival order and deferred
+// nothing — the vanilla behaviour.
+func (d ShuffleDecision) Identity() bool {
+	if len(d.Deferred) != 0 || len(d.RunOrder) != d.N {
+		return false
+	}
+	for i, v := range d.RunOrder {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Neutral returns the unperturbed form of the decision: run all ready events
+// in arrival order.
+func (d ShuffleDecision) Neutral() ShuffleDecision {
+	order := make([]int, d.N)
+	for i := range order {
+		order[i] = i
+	}
+	return ShuffleDecision{N: d.N, RunOrder: order}
+}
+
+// Perturbs reports whether the pick skipped the queue head.
+func (d PickDecision) Perturbs() bool { return d.I != 0 }
+
+// Neutral returns the unperturbed form of the decision: pick the head.
+func (d PickDecision) Neutral() PickDecision { return PickDecision{N: d.N} }
+
+// Clone deep-copies the trace; mutating the copy leaves the original intact.
+// The campaign trace minimizer clones a recorded trace once per delta-
+// debugging probe before neutralizing a subset of its perturbations.
+func (t *Trace) Clone() *Trace {
+	cp := &Trace{
+		Timers:  append([]TimerDecision(nil), t.Timers...),
+		Shuffle: make([]ShuffleDecision, len(t.Shuffle)),
+		Close:   append([]bool(nil), t.Close...),
+		Pick:    append([]PickDecision(nil), t.Pick...),
+	}
+	for i, d := range t.Shuffle {
+		cp.Shuffle[i] = ShuffleDecision{
+			N:        d.N,
+			RunOrder: append([]int(nil), d.RunOrder...),
+			Deferred: append([]int(nil), d.Deferred...),
+		}
+	}
+	return cp
+}
+
+// Perturbations counts the decisions in the trace that changed the schedule
+// relative to vanilla ordering.
+func (t *Trace) Perturbations() int {
+	n := 0
+	for _, d := range t.Timers {
+		if d.Perturbs() {
+			n++
+		}
+	}
+	for _, d := range t.Shuffle {
+		if !d.Identity() {
+			n++
+		}
+	}
+	for _, v := range t.Close {
+		if v {
+			n++
+		}
+	}
+	for _, d := range t.Pick {
+		if d.Perturbs() {
+			n++
+		}
+	}
+	return n
+}
+
 // Encode writes the trace as JSON.
 func (t *Trace) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)

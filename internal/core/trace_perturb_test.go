@@ -1,0 +1,70 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestDecisionPerturbationPredicates(t *testing.T) {
+	if (TimerDecision{Due: 2, Run: 2}).Perturbs() {
+		t.Error("run-all timer decision should not perturb")
+	}
+	if !(TimerDecision{Due: 2, Run: 1}).Perturbs() {
+		t.Error("deferred timer decision should perturb")
+	}
+	if !(TimerDecision{Due: 1, Run: 1, Delay: time.Millisecond}).Perturbs() {
+		t.Error("delay injection should perturb")
+	}
+	if got := (TimerDecision{Due: 3, Run: 0, Delay: time.Millisecond}).Neutral(); got != (TimerDecision{Due: 3, Run: 3}) {
+		t.Errorf("timer Neutral = %+v", got)
+	}
+
+	id := ShuffleDecision{N: 3, RunOrder: []int{0, 1, 2}}
+	if !id.Identity() {
+		t.Error("in-order shuffle should be identity")
+	}
+	if (ShuffleDecision{N: 3, RunOrder: []int{0, 2, 1}}).Identity() {
+		t.Error("reordered shuffle is not identity")
+	}
+	if (ShuffleDecision{N: 3, RunOrder: []int{0, 1}, Deferred: []int{2}}).Identity() {
+		t.Error("deferring shuffle is not identity")
+	}
+	if got := (ShuffleDecision{N: 2, RunOrder: []int{1}, Deferred: []int{0}}).Neutral(); !got.Identity() || got.N != 2 {
+		t.Errorf("shuffle Neutral = %+v", got)
+	}
+
+	if (PickDecision{N: 4, I: 0}).Perturbs() {
+		t.Error("head pick should not perturb")
+	}
+	if !(PickDecision{N: 4, I: 3}).Perturbs() {
+		t.Error("lookahead pick should perturb")
+	}
+}
+
+func TestTraceCloneAndPerturbations(t *testing.T) {
+	orig := &Trace{
+		Timers:  []TimerDecision{{Due: 1, Run: 0, Delay: time.Millisecond}, {Due: 2, Run: 2}},
+		Shuffle: []ShuffleDecision{{N: 2, RunOrder: []int{1, 0}}, {N: 1, RunOrder: []int{0}}},
+		Close:   []bool{true, false},
+		Pick:    []PickDecision{{N: 3, I: 2}, {N: 1, I: 0}},
+	}
+	if got := orig.Perturbations(); got != 4 {
+		t.Fatalf("Perturbations = %d, want 4", got)
+	}
+	cp := orig.Clone()
+	if !reflect.DeepEqual(orig, cp) {
+		t.Fatal("clone differs from original")
+	}
+	cp.Timers[0] = cp.Timers[0].Neutral()
+	cp.Shuffle[0].RunOrder[0] = 0
+	cp.Close[0] = false
+	cp.Pick[0] = cp.Pick[0].Neutral()
+	if orig.Perturbations() != 4 {
+		t.Fatal("mutating the clone changed the original")
+	}
+	// Only the shuffle remains perturbed: RunOrder [0,0] is not the identity.
+	if cp.Perturbations() != 1 {
+		t.Fatalf("clone Perturbations = %d", cp.Perturbations())
+	}
+}

@@ -36,6 +36,13 @@ type ExploreResult struct {
 // enumeration is a guided walk rather than an exhaustive proof.
 func Explore(app *bugs.App, seed int64, maxPoints, maxRuns int) ExploreResult {
 	res := ExploreResult{Bug: app.Abbr}
+	// The budget bounds *every* execution, including the baseline: a
+	// non-positive budget spends no runs at all, and res.Runs never exceeds
+	// maxRuns even when the budget runs out mid-way through the pairs stage.
+	budget := func() bool { return res.Runs < maxRuns }
+	if !budget() {
+		return res
+	}
 
 	tryVector := func(vec []int) (*core.SystematicScheduler, bugs.Outcome) {
 		s := core.NewSystematic(vec)
@@ -59,7 +66,7 @@ func Explore(app *bugs.App, seed int64, maxPoints, maxRuns int) ExploreResult {
 	}
 
 	// Delay bound 1.
-	for p := 0; p < n && res.Runs < maxRuns; p++ {
+	for p := 0; p < n && budget(); p++ {
 		if _, out := tryVector([]int{p}); out.Manifested {
 			res.Manifested = true
 			res.Vector = []int{p}
@@ -68,9 +75,10 @@ func Explore(app *bugs.App, seed int64, maxPoints, maxRuns int) ExploreResult {
 		}
 	}
 
-	// Delay bound 2.
-	for a := 0; a < n && res.Runs < maxRuns; a++ {
-		for b := a + 1; b < n && res.Runs < maxRuns; b++ {
+	// Delay bound 2. The budget check sits on the inner loop so exhaustion
+	// mid-pair stops immediately instead of finishing the current a-row.
+	for a := 0; a < n && budget(); a++ {
+		for b := a + 1; b < n && budget(); b++ {
 			if _, out := tryVector([]int{a, b}); out.Manifested {
 				res.Manifested = true
 				res.Vector = []int{a, b}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+// fakePointsApp builds a synthetic App whose Run exercises exactly points
+// scheduler decision points (timer filters with due > 0) and never
+// manifests, counting executions into *runs. No event loop is involved, so
+// the budget arithmetic is exact and timing-free.
+func fakePointsApp(points int, runs *int) *bugs.App {
+	return &bugs.App{
+		Abbr: "FAKE",
+		Run: func(cfg bugs.RunConfig) bugs.Outcome {
+			*runs++
+			for i := 0; i < points; i++ {
+				cfg.Scheduler.FilterTimers(1)
+			}
+			return bugs.Outcome{}
+		},
+	}
+}
+
+func TestExploreRespectsBudget(t *testing.T) {
+	const points = 10
+	cases := []struct {
+		name     string
+		maxRuns  int
+		wantRuns int
+	}{
+		{"zero budget spends nothing", 0, 0},
+		{"negative budget spends nothing", -3, 0},
+		{"baseline only", 1, 1},
+		{"exhausted mid-singles", 5, 5},
+		// 1 baseline + 10 singles leaves 2 runs inside the pairs stage:
+		// the budget must stop the pair enumeration mid-loop.
+		{"exhausted mid-pairs", 13, 13},
+		{"exhausted deeper in pairs", 25, 25},
+		// Full enumeration: 1 + 10 + C(10,2)=45 pairs = 56 < 100.
+		{"budget not reached", 100, 56},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := 0
+			res := Explore(fakePointsApp(points, &runs), 1, points, tc.maxRuns)
+			if runs != tc.wantRuns {
+				t.Errorf("executed %d runs, want %d", runs, tc.wantRuns)
+			}
+			if res.Runs != runs {
+				t.Errorf("reported Runs = %d, executed %d", res.Runs, runs)
+			}
+			if tc.maxRuns >= 0 && res.Runs > tc.maxRuns {
+				t.Errorf("Runs = %d exceeds budget %d", res.Runs, tc.maxRuns)
+			}
+			if res.Manifested {
+				t.Error("fake app never manifests")
+			}
+			if tc.wantRuns > 0 && res.Points != points {
+				t.Errorf("Points = %d, want %d", res.Points, points)
+			}
+		})
+	}
+}
+
+func TestExploreMaxPointsCapsEnumeration(t *testing.T) {
+	runs := 0
+	// 10 points but only 3 enumerable: 1 + 3 + C(3,2)=3 → 7 runs.
+	res := Explore(fakePointsApp(10, &runs), 1, 3, 100)
+	if runs != 7 || res.Runs != 7 {
+		t.Errorf("executed %d (reported %d), want 7", runs, res.Runs)
+	}
+}

@@ -2,10 +2,10 @@ package harness
 
 import (
 	"runtime"
-	"sync"
 	"time"
 
 	"nodefz/internal/bugs"
+	"nodefz/internal/campaign"
 	"nodefz/internal/core"
 	"nodefz/internal/eventloop"
 	"nodefz/internal/metrics"
@@ -80,7 +80,16 @@ type trialMeta struct {
 // documents, small enough for tens of samples per trial.
 const lagProbeInterval = 2 * time.Millisecond
 
+// measure runs trials through the campaign trial executor with
+// workers = GOMAXPROCS. Per-trial seeds are baseSeed+i regardless of worker
+// count or interleaving, so the reported rates are bit-identical to the
+// historical sequential path for a fixed baseSeed (regression-tested in
+// TestMeasureWorkerCountInvariant).
 func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eventloop.Scheduler, trials int, baseSeed int64, meta trialMeta) Rate {
+	return measureWorkers(run, mkSched, trials, baseSeed, meta, runtime.GOMAXPROCS(0))
+}
+
+func measureWorkers(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eventloop.Scheduler, trials int, baseSeed int64, meta trialMeta, workers int) Rate {
 	if trials <= 0 {
 		return Rate{}
 	}
@@ -91,43 +100,26 @@ func measure(run func(bugs.RunConfig) bugs.Outcome, mkSched func(seed int64) eve
 	}
 	results := make([]result, trials)
 
-	workers := runtime.NumCPU()
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				seed := baseSeed + int64(i)
-				s := mkSched(seed)
-				cfg := bugs.RunConfig{Seed: seed, Scheduler: s}
-				var reg *metrics.Registry
-				var rec *sched.Recorder
-				if meta.obs != nil {
-					reg = metrics.NewRegistry()
-					rec = sched.NewRecorder()
-					cfg.Metrics = reg
-					cfg.Recorder = rec
-					cfg.LagProbeEvery = lagProbeInterval
-				}
-				out := run(cfg)
-				d, _ := core.DecisionsOf(s)
-				results[i] = result{manifested: out.Manifested, note: out.Note, decisions: d}
-				if meta.obs != nil {
-					meta.obs(CollectTrial(meta.bug, meta.mode, seed, i, out, reg, s, rec.Types()))
-				}
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	campaign.Executor{Workers: workers}.Run(trials, func(i int) {
+		seed := baseSeed + int64(i)
+		s := mkSched(seed)
+		cfg := bugs.RunConfig{Seed: seed, Scheduler: s}
+		var reg *metrics.Registry
+		var rec *sched.Recorder
+		if meta.obs != nil {
+			reg = metrics.NewRegistry()
+			rec = sched.NewRecorder()
+			cfg.Metrics = reg
+			cfg.Recorder = rec
+			cfg.LagProbeEvery = lagProbeInterval
+		}
+		out := run(cfg)
+		d, _ := core.DecisionsOf(s)
+		results[i] = result{manifested: out.Manifested, note: out.Note, decisions: d}
+		if meta.obs != nil {
+			meta.obs(CollectTrial(meta.bug, meta.mode, seed, i, out, reg, s, rec.Types()))
+		}
+	})
 
 	r := Rate{Trials: trials}
 	for _, res := range results {

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+)
+
+// TestMeasureWorkerCountInvariant: routing measure through the campaign
+// trial executor must keep reported rates bit-identical to the sequential
+// path for a fixed baseSeed — trial i always runs seed baseSeed+i, whatever
+// the worker count or interleaving. The run function is a pure function of
+// its seed (no event loop, no wall clock), so any divergence is a plumbing
+// bug, not noise.
+func TestMeasureWorkerCountInvariant(t *testing.T) {
+	run := func(cfg bugs.RunConfig) bugs.Outcome {
+		// Drive the scheduler deterministically from the seed so decision
+		// counters aggregate meaningfully.
+		for i := 0; i < int(cfg.Seed%7)+3; i++ {
+			cfg.Scheduler.FilterTimers(i%3 + 1)
+			cfg.Scheduler.PickTask(i%4 + 1)
+		}
+		manifested := cfg.Seed%3 == 0
+		return bugs.Outcome{Manifested: manifested, Note: fmt.Sprintf("seed %d", cfg.Seed)}
+	}
+	mkSched := func(seed int64) eventloop.Scheduler {
+		return core.NewScheduler(core.StandardParams(), seed)
+	}
+	const trials, baseSeed = 40, int64(100)
+
+	sequential := measureWorkers(run, mkSched, trials, baseSeed, trialMeta{bug: "FAKE", mode: ModeFZ}, 1)
+	for _, workers := range []int{2, 4, 8} {
+		parallel := measureWorkers(run, mkSched, trials, baseSeed, trialMeta{bug: "FAKE", mode: ModeFZ}, workers)
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Errorf("workers=%d diverged from sequential:\n seq: %+v\n par: %+v",
+				workers, sequential, parallel)
+		}
+	}
+	if sequential.Manifested == 0 || sequential.Manifested == trials {
+		t.Fatalf("degenerate fixture: %d/%d manifested", sequential.Manifested, trials)
+	}
+	if sequential.FirstNote != "seed 102" {
+		// Seeds 100..139; the first seed divisible by 3 is 102, and
+		// FirstNote must come from the lowest manifesting trial index, not
+		// from whichever worker finished first.
+		t.Errorf("FirstNote = %q, want %q", sequential.FirstNote, "seed 102")
+	}
+	if sequential.Decisions.Total() == 0 {
+		t.Error("fixture drove no scheduler decisions — aggregation check is vacuous")
+	}
+}

@@ -1,0 +1,51 @@
+package sched
+
+import "testing"
+
+func TestDigestBoundaries(t *testing.T) {
+	a := Digest([]string{"timer", "net-read"})
+	b := Digest([]string{"timer", "net-read"})
+	if a != b {
+		t.Fatal("digest not deterministic")
+	}
+	if Digest([]string{"timernet-read"}) == a {
+		t.Error("element boundaries not separated")
+	}
+	if Digest([]string{"net-read", "timer"}) == a {
+		t.Error("digest order-insensitive")
+	}
+	if Digest(nil) != Digest([]string{}) {
+		t.Error("nil and empty schedules must share a digest")
+	}
+	if Digest(nil) == a {
+		t.Error("empty schedule collides with non-empty")
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	if got := DigestString(0xab); got != "00000000000000ab" {
+		t.Fatalf("DigestString(0xab) = %q", got)
+	}
+	if len(DigestString(^uint64(0))) != 16 {
+		t.Fatal("digest string not fixed width")
+	}
+}
+
+func TestNearestNLD(t *testing.T) {
+	if d, i := NearestNLD([]string{"a"}, nil); d != 1 || i != -1 {
+		t.Fatalf("empty pool: got %v, %d", d, i)
+	}
+	pool := [][]string{
+		{"a", "b", "c", "d"},
+		{"a", "b", "c"},
+		{"x", "y", "z"},
+	}
+	d, i := NearestNLD([]string{"a", "b", "c"}, pool)
+	if i != 1 || d != 0 {
+		t.Fatalf("expected exact match at index 1, got d=%v i=%d", d, i)
+	}
+	d, i = NearestNLD([]string{"x", "y"}, pool)
+	if i != 2 {
+		t.Fatalf("nearest neighbour should be index 2, got %d (d=%v)", i, d)
+	}
+}
