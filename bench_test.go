@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nodefz/internal/bugs"
+	"nodefz/internal/campaign"
 	"nodefz/internal/conformance"
 	"nodefz/internal/core"
 	"nodefz/internal/emitter"
@@ -26,6 +27,7 @@ import (
 	"nodefz/internal/metrics"
 	"nodefz/internal/sched"
 	"nodefz/internal/simnet"
+	"nodefz/internal/vclock"
 )
 
 // --- Tables 1-3 -----------------------------------------------------------
@@ -362,5 +364,86 @@ func BenchmarkLoopTimersInstrumented(b *testing.B) {
 	}
 	if fired != b.N {
 		b.Fatalf("fired %d/%d", fired, b.N)
+	}
+}
+
+// --- Virtual time (DESIGN.md time virtualization) ---------------------------
+
+// BenchmarkTrialVirtualVsWall runs the same timer-heavy fuzzing trial under
+// the wall clock and under the virtual clock. The wall run pays real time
+// for network latency, injected delays, and detector timers; the virtual run
+// jumps straight to each deadline. The ratio between the two ns/op IS the
+// campaign speedup from -virtual-time.
+func BenchmarkTrialVirtualVsWall(b *testing.B) {
+	app := bugs.ByAbbr("SIO")
+	for _, virtual := range []bool{false, true} {
+		virtual := virtual
+		name := "wall"
+		if virtual {
+			name = "virtual"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i + 1)
+				cfg := bugs.RunConfig{
+					Seed:      seed,
+					Scheduler: harness.SchedulerFor(harness.ModeFZ, seed),
+				}
+				if virtual {
+					cfg.Clock = vclock.NewVirtual()
+				}
+				app.Run(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkLevenshtein measures the schedule-distance DP on paper-scale type
+// schedules (§5.3 truncates at 20K callbacks; 1K per op keeps the benchmark
+// itself fast while exercising the same inner loop).
+func BenchmarkLevenshtein(b *testing.B) {
+	kinds := []string{"timer", "net-read", "work", "work-done", "close", "immediate"}
+	mk := func(n, phase int) []string {
+		s := make([]string, n)
+		for i := range s {
+			s[i] = kinds[(i*7+phase)%len(kinds)]
+		}
+		return s
+	}
+	x, y := mk(1000, 0), mk(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Levenshtein(x, y)
+	}
+}
+
+// BenchmarkCorpusAdmit measures one corpus admission — digest, intern,
+// nearest-neighbour scan — against a corpus at capacity, the steady state a
+// long campaign runs in.
+func BenchmarkCorpusAdmit(b *testing.B) {
+	kinds := []string{"timer", "net-read", "work", "work-done", "close", "immediate"}
+	mk := func(seed, n int) []string {
+		s := make([]string, n)
+		x := uint64(seed)*2654435761 + 99991
+		for i := range s {
+			x = x*6364136223846793005 + 1442695040888963407
+			s[i] = kinds[x%uint64(len(kinds))]
+		}
+		return s
+	}
+	const schedLen = 1000
+	c := campaign.NewCorpus(0.05, 32, schedLen)
+	for i := 0; i < 32; i++ {
+		c.Admit(mk(i, schedLen))
+	}
+	cand := mk(0, schedLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Patch a few positions so every offer has a fresh digest and pays
+		// the full nearest-neighbour scan, not the duplicate fast path.
+		for k := 0; k < 4; k++ {
+			cand[(i*131+k*257)%schedLen] = kinds[(i+k)%len(kinds)]
+		}
+		c.Admit(cand)
 	}
 }

@@ -36,8 +36,10 @@ func main() {
 		seeds    = flag.Int("seeds", 10, "seeds for the fidelity experiment")
 		seed     = flag.Int64("seed", 1000, "base seed")
 		metOut   = flag.String("metrics", "", "append per-trial JSONL metrics snapshots to FILE (fig6 only)")
+		vtime    = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
 	)
 	flag.Parse()
+	bugs.SetVirtualTime(*vtime)
 
 	w := os.Stdout
 	run := func(name string, fn func()) {

@@ -45,6 +45,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 		metOut     = flag.String("metrics", "", "append one JSONL metrics snapshot per trial to FILE")
 		quiet      = flag.Bool("q", false, "suppress per-trial progress lines")
+		vtime      = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		CheckpointPath:   *checkpoint,
 		Resume:           *resume,
 		Metrics:          metW,
+		VirtualTime:      *vtime,
 	}
 	if !*quiet {
 		cfg.Progress = func(e campaign.TrialEntry) {

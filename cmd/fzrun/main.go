@@ -40,8 +40,10 @@ func main() {
 		replay = flag.String("replay", "", "replay a decision trace from FILE (bias the run toward a recorded schedule)")
 		diff   = flag.Bool("diff", false, "print the type-schedule diff between consecutive trials")
 		metOut = flag.String("metrics", "", "append one JSONL metrics snapshot per trial to FILE")
+		vtime  = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
 	)
 	flag.Parse()
+	bugs.SetVirtualTime(*vtime)
 
 	if *list {
 		fmt.Printf("%-11s %-6s %-9s %-10s %s\n", "abbr", "race", "events", "issue", "name")
@@ -109,7 +111,7 @@ func main() {
 			recording = core.NewRecording(scheduler)
 			scheduler = recording
 		}
-		cfg := bugs.RunConfig{Seed: s, Scheduler: scheduler}
+		cfg := bugs.RunConfig{Seed: s, Scheduler: scheduler, Clock: bugs.TrialClock()}
 		var rec *sched.Recorder
 		if *trace || *diff || metW != nil {
 			rec = sched.NewRecorder()

@@ -19,13 +19,16 @@
 package bugs
 
 import (
+	"sync/atomic"
 	"time"
 
 	"nodefz/internal/eventloop"
 	"nodefz/internal/lag"
 	"nodefz/internal/metrics"
+	"nodefz/internal/sched"
 	"nodefz/internal/simfs"
 	"nodefz/internal/simnet"
+	"nodefz/internal/vclock"
 )
 
 // RunConfig parameterizes one execution of a bug application.
@@ -47,14 +50,48 @@ type RunConfig struct {
 	// (and consumes scheduler decisions), so enabling it slightly perturbs
 	// a trial relative to a probe-free run with the same seed.
 	LagProbeEvery time.Duration
+	// Clock is the trial's time source: nil means wall time; a
+	// vclock.Virtual clock runs every wait — timers, substrate latencies,
+	// injected delays — in simulated time so the trial finishes at CPU
+	// speed.
+	Clock vclock.Clock
+}
+
+// virtualTime is the process-wide default clock mode, set by the CLIs'
+// -virtual-time flag. Individual trials can always override it by setting
+// RunConfig.Clock explicitly.
+var virtualTime atomic.Bool
+
+// SetVirtualTime switches the process-wide default for new trials: when on,
+// TrialClock hands every trial a fresh virtual clock, so waits elapse in
+// simulated time and trials run at CPU speed.
+func SetVirtualTime(on bool) { virtualTime.Store(on) }
+
+// VirtualTimeEnabled reports the process-wide default set by SetVirtualTime.
+func VirtualTimeEnabled() bool { return virtualTime.Load() }
+
+// TrialClock returns the clock a new trial's RunConfig should carry: a fresh
+// virtual clock when virtual time is enabled (each trial needs its own — a
+// clock's participant accounting is per trial), nil (wall time) otherwise.
+func TrialClock() vclock.Clock {
+	if virtualTime.Load() {
+		return vclock.NewVirtual()
+	}
+	return nil
 }
 
 // NewLoop builds the event loop for a trial.
 func (cfg RunConfig) NewLoop() *eventloop.Loop {
+	if r, ok := cfg.Recorder.(*sched.Recorder); ok && r != nil && cfg.Clock != nil {
+		// Stamp schedule entries with the trial clock: under virtual time a
+		// wall timestamp is the one nondeterministic bit left in a trace.
+		r.Now = cfg.Clock.Now
+	}
 	l := eventloop.New(eventloop.Options{
 		Scheduler: cfg.Scheduler,
 		Recorder:  cfg.Recorder,
 		Metrics:   cfg.Metrics,
+		Clock:     cfg.Clock,
 	})
 	if cfg.Metrics != nil && cfg.LagProbeEvery > 0 {
 		m := lag.New(l, cfg.LagProbeEvery, 0).Attach(cfg.Metrics)
@@ -74,6 +111,7 @@ func (cfg RunConfig) NewNet() *simnet.Network {
 		Seed:       cfg.Seed,
 		MinLatency: 1 * time.Millisecond,
 		MaxLatency: 2500 * time.Microsecond,
+		Clock:      cfg.Clock,
 	})
 }
 
@@ -87,10 +125,10 @@ const FSLatency = 1500 * time.Microsecond
 // scheduling they are invisible; under the fuzzer each expiry is a chance
 // for a timer deferral and its injected delay, stretching the schedule.
 func AddTimerNoise(l *eventloop.Loop, every, until time.Duration) {
-	deadline := time.Now().Add(until)
+	deadline := l.Clock().Now().Add(until)
 	var tick *eventloop.Timer
 	tick = l.SetIntervalNamed("noise", every, func() {
-		if time.Now().After(deadline) {
+		if l.Clock().Now().After(deadline) {
 			tick.Stop()
 		}
 	})
@@ -110,10 +148,10 @@ func AddFSNoise(l *eventloop.Loop, seed int64, every, until time.Duration) {
 		panic(err)
 	}
 	fsa := simfs.Bind(l, noiseFS, 500*time.Microsecond, seed)
-	deadline := time.Now().Add(until)
+	deadline := l.Clock().Now().Add(until)
 	var tick *eventloop.Timer
 	tick = l.SetIntervalNamed("fs-noise", every, func() {
-		if time.Now().After(deadline) {
+		if l.Clock().Now().After(deadline) {
 			tick.Stop()
 			return
 		}

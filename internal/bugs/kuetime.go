@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nodefz/internal/simnet"
+	"nodefz/internal/vclock"
 )
 
 // kueTimeApp models the §5.2.3 bug from the 2014 version of the kue test
@@ -38,16 +39,24 @@ func kueTimeApp() *App {
 	}
 }
 
-// kueTimeBusy spins for roughly d, standing in for the JSON parsing and
-// assertion work each test callback performs.
-func kueTimeBusy(d time.Duration) {
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
+// kueTimeBusy stands in for the JSON parsing and assertion work each test
+// callback performs: a real spin in wall mode, a simulated-time Charge under
+// a virtual clock. Charge, not Sleep: the callback runs under the loop's run
+// lock, busy CPU must not let any other participant interleave, and spinning
+// on a virtual Now would never terminate.
+func kueTimeBusy(clk vclock.Clock, d time.Duration) {
+	if _, wall := clk.(vclock.Wall); wall {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+		return
 	}
+	clk.Charge(d)
 }
 
 func kueTimeRun(cfg RunConfig, fixed bool) Outcome {
 	l := cfg.NewLoop()
+	clk := l.Clock()
 	net := cfg.NewNet()
 	defer net.Close()
 	Watchdog(l, 5*time.Second)
@@ -70,7 +79,7 @@ func kueTimeRun(cfg RunConfig, fixed bool) Outcome {
 
 	// The suite's background load: many concurrent job-status round trips,
 	// each reply doing a slice of callback work.
-	stop := time.Now().Add(trafficTo)
+	stop := clk.Now().Add(trafficTo)
 	live := 0
 	for i := 0; i < chains; i++ {
 		i := i
@@ -80,8 +89,8 @@ func kueTimeRun(cfg RunConfig, fixed bool) Outcome {
 			}
 			live++
 			conn.OnData(func([]byte) {
-				kueTimeBusy(workEach)
-				if time.Now().Before(stop) {
+				kueTimeBusy(clk, workEach)
+				if clk.Now().Before(stop) {
 					_ = conn.Send([]byte(fmt.Sprintf("job-%d", i)))
 					return
 				}
@@ -98,9 +107,9 @@ func kueTimeRun(cfg RunConfig, fixed bool) Outcome {
 	// The offending assertion: registered for `deadline`, it crashes if it
 	// runs within `slack` of the deadline — the suite relied on the
 	// saturated loop making timers imprecise.
-	start := time.Now()
+	start := clk.Now()
 	l.SetTimeoutNamed("precision-assert", deadline, func() {
-		late := time.Since(start) - deadline
+		late := clk.Since(start) - deadline
 		if late < slack && !fixed {
 			out.Manifested = true
 			out.Note = fmt.Sprintf(

@@ -11,6 +11,7 @@ import (
 	"nodefz/internal/core"
 	"nodefz/internal/metrics"
 	"nodefz/internal/sched"
+	"nodefz/internal/vclock"
 )
 
 // Defaults for Config's zero values.
@@ -41,8 +42,16 @@ type Config struct {
 	BaseSeed int64
 	// Budget, when > 0, is the wall-clock budget: no new trial starts after
 	// it elapses (in-flight trials finish). A budget stop leaves the journal
-	// resumable.
+	// resumable. The budget is always wall time — it measures real cost —
+	// even when VirtualTime runs the trials themselves in simulated time.
 	Budget time.Duration
+
+	// VirtualTime runs every trial (and minimization replay) on its own
+	// virtual clock: waits elapse in simulated time, so a campaign is bounded
+	// by CPU, not by the corpus's deliberately slow substrate latencies.
+	// Trial outcomes stay deterministic per seed; ElapsedMS in the journal
+	// still reports wall time.
+	VirtualTime bool
 
 	// NoveltyThreshold is the corpus admission threshold (0 means
 	// DefaultNoveltyThreshold; negative means literally 0, admit any
@@ -78,6 +87,18 @@ type Config struct {
 	// Progress, when non-nil, receives one line per executed trial; the CLI
 	// uses it for streaming output. Called concurrently.
 	Progress func(TrialEntry)
+}
+
+// trialClock picks a fresh per-trial clock: virtual when the campaign (or
+// the process-wide bugs.SetVirtualTime default) asks for it, nil otherwise.
+func trialClock(virtual bool) vclock.Clock {
+	if c := bugs.TrialClock(); c != nil {
+		return c
+	}
+	if virtual {
+		return vclock.NewVirtual()
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +172,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("campaign: %s has no modelled fix", cfg.App.Abbr)
 		}
 		run = cfg.App.RunFixed
+	}
+	if cfg.VirtualTime {
+		// Minimization replays build their own RunConfigs; this wrapper makes
+		// sure they, too, get a fresh virtual clock per execution.
+		inner := run
+		run = func(rc bugs.RunConfig) bugs.Outcome {
+			if rc.Clock == nil {
+				rc.Clock = vclock.NewVirtual()
+			}
+			return inner(rc)
+		}
 	}
 
 	corpus := NewCorpus(cfg.NoveltyThreshold, cfg.CorpusCapacity, cfg.ScheduleTruncate)
@@ -255,7 +287,7 @@ func Run(cfg Config) (*Result, error) {
 		inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
 		recording := core.NewRecording(inner)
 		rec := sched.NewRecorder()
-		runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec}
+		runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
 		var reg *metrics.Registry
 		if cfg.Metrics != nil {
 			reg = metrics.NewRegistry()

@@ -25,6 +25,19 @@ import (
 //   - at capacity, admitting evicts the new schedule's nearest neighbour —
 //     the member it is most redundant with — keeping the corpus spread out.
 //
+// Admission is the campaign's hottest non-trial path: every trial pays one
+// nearest-neighbour scan, each member an O(n*m) dynamic program over
+// schedules thousands of elements long. Three things keep it cheap:
+//
+//   - type strings are interned to dense int IDs once per schedule, so the
+//     DP's inner loop compares ints instead of hashing/comparing strings;
+//   - the two DP rows are per-Corpus scratch reused across members and
+//     candidates (safe: they are only touched under c.mu), so a scan does
+//     zero allocation;
+//   - a member whose length differs from the candidate's by more than the
+//     best distance found so far cannot be nearer — the length gap is a
+//     Levenshtein lower bound — and is skipped without running the DP.
+//
 // Corpus is safe for concurrent use by the campaign's trial workers.
 type Corpus struct {
 	threshold float64
@@ -34,11 +47,21 @@ type Corpus struct {
 	mu      sync.Mutex
 	entries []corpusEntry
 	seen    map[uint64]bool // digest of every schedule ever offered
+
+	// intern maps each distinct callback-type string to a dense ID. The
+	// table only grows (a handful of kinds exist), never per-admission.
+	intern map[string]int32
+	// dpPrev/dpCur are the Levenshtein scratch rows, reused across every
+	// member comparison of every Admit call; guarded by mu.
+	dpPrev, dpCur []int
+	// candScratch holds the interned candidate between per-member DPs.
+	candScratch []int32
 }
 
 type corpusEntry struct {
 	digest uint64
 	types  []string
+	ids    []int32 // types interned through Corpus.intern
 }
 
 // Admission reports the outcome of one Corpus.Admit call.
@@ -72,6 +95,7 @@ func NewCorpus(threshold float64, capacity, truncate int) *Corpus {
 		capacity:  capacity,
 		truncate:  truncate,
 		seen:      make(map[uint64]bool),
+		intern:    make(map[string]int32),
 	}
 }
 
@@ -80,6 +104,96 @@ func (c *Corpus) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// internTypes maps types through the intern table into dst (reused when
+// capacity allows). Caller holds c.mu.
+func (c *Corpus) internTypes(types []string, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, s := range types {
+		id, ok := c.intern[s]
+		if !ok {
+			id = int32(len(c.intern))
+			c.intern[s] = id
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+// nearest returns the minimum normalized Levenshtein distance from cand to
+// any member and that member's index (1, -1 on an empty corpus), reusing the
+// corpus scratch rows. Caller holds c.mu.
+func (c *Corpus) nearest(cand []int32) (float64, int) {
+	best, idx := 1.0, -1
+	for i := range c.entries {
+		ids := c.entries[i].ids
+		n := len(cand)
+		if len(ids) > n {
+			n = len(ids)
+		}
+		if n == 0 {
+			// Two empty schedules: distance 0, and no later member beats it.
+			return 0, i
+		}
+		// |len(a)-len(b)| lower-bounds the edit distance: a longer-by-k
+		// schedule needs at least k insertions. If even that floor cannot
+		// strictly improve on best, the DP cannot either.
+		diff := len(cand) - len(ids)
+		if diff < 0 {
+			diff = -diff
+		}
+		if idx != -1 && float64(diff)/float64(n) >= best {
+			continue
+		}
+		d := float64(c.levenshteinIDs(cand, ids)) / float64(n)
+		if idx == -1 || d < best {
+			best, idx = d, i
+		}
+	}
+	if idx == -1 {
+		return 1, -1
+	}
+	return best, idx
+}
+
+// levenshteinIDs is the classic two-row edit-distance DP over interned
+// schedules, running in the corpus's shared scratch rows. Caller holds c.mu.
+func (c *Corpus) levenshteinIDs(a, b []int32) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if cap(c.dpPrev) < len(b)+1 {
+		c.dpPrev = make([]int, len(b)+1)
+		c.dpCur = make([]int, len(b)+1)
+	}
+	prev, cur := c.dpPrev[:len(b)+1], c.dpCur[:len(b)+1]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			best := prev[j-1]
+			if ai != b[j-1] {
+				best++
+			}
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	c.dpPrev, c.dpCur = cur, prev // keep the backing arrays adopted
+	return prev[len(b)]
 }
 
 // Admit offers a type schedule to the corpus and reports what happened. The
@@ -95,11 +209,8 @@ func (c *Corpus) Admit(types []string) Admission {
 	}
 	c.seen[d] = true
 
-	pool := make([][]string, len(c.entries))
-	for i, e := range c.entries {
-		pool[i] = e.types
-	}
-	novelty, nearest := sched.NearestNLD(types, pool)
+	c.candScratch = c.internTypes(types, c.candScratch)
+	novelty, nearest := c.nearest(c.candScratch)
 	adm := Admission{Novelty: novelty}
 	if len(c.entries) > 0 && novelty <= c.threshold {
 		return adm
@@ -111,7 +222,9 @@ func (c *Corpus) Admit(types []string) Admission {
 	}
 	cp := make([]string, len(types))
 	copy(cp, types)
-	c.entries = append(c.entries, corpusEntry{digest: d, types: cp})
+	ids := make([]int32, len(c.candScratch))
+	copy(ids, c.candScratch)
+	c.entries = append(c.entries, corpusEntry{digest: d, types: cp, ids: ids})
 	adm.Admitted = true
 	return adm
 }

@@ -121,3 +121,44 @@ func TestCorpusMarkSeen(t *testing.T) {
 		t.Fatalf("MarkSeen must not admit: Len = %d", c.Len())
 	}
 }
+
+// TestCorpusNearestMatchesReference: the interned, scratch-row, length-
+// pruned nearest-neighbour scan must agree exactly with the straightforward
+// sched.NearestNLD over the same schedules — novelty feeds the bandit's
+// reward, so a drifting fast path would silently bias the campaign.
+func TestCorpusNearestMatchesReference(t *testing.T) {
+	kinds := []string{"timer", "net-read", "work", "work-done", "close", "imm"}
+	mk := func(seed, n int) []string {
+		s := make([]string, n)
+		x := uint64(seed)*2654435761 + 12345
+		for i := range s {
+			x = x*6364136223846793005 + 1442695040888963407
+			s[i] = kinds[x%uint64(len(kinds))]
+		}
+		return s
+	}
+
+	c := NewCorpus(0, 64, 0) // threshold 0: admit everything non-duplicate
+	var pool [][]string
+	for i := 0; i < 40; i++ {
+		cand := mk(i, 5+i%37)
+		wantD, _ := sched.NearestNLD(cand, pool)
+
+		c.mu.Lock()
+		c.candScratch = c.internTypes(cand, c.candScratch)
+		gotD, gotI := c.nearest(c.candScratch)
+		c.mu.Unlock()
+
+		if gotD != wantD {
+			t.Fatalf("offer %d: nearest distance %v, reference %v", i, gotD, wantD)
+		}
+		if len(pool) > 0 && (gotI < 0 || sched.NormalizedLevenshtein(cand, pool[gotI]) != wantD) {
+			t.Fatalf("offer %d: nearest index %d does not achieve reference distance %v", i, gotI, wantD)
+		}
+
+		if adm := c.Admit(cand); !adm.Admitted {
+			t.Fatalf("offer %d: not admitted at threshold 0 (novelty %v)", i, adm.Novelty)
+		}
+		pool = append(pool, cand)
+	}
+}

@@ -120,7 +120,7 @@ func MinimizeTrace(run func(bugs.RunConfig) bugs.Outcome, seed int64, trace *cor
 			keep[p] = true
 		}
 		s := core.NewReplay(neutralized(trace, keep), core.NewNoFuzzScheduler())
-		out := run(bugs.RunConfig{Seed: seed, Scheduler: eventloop.Scheduler(s)})
+		out := run(bugs.RunConfig{Seed: seed, Scheduler: eventloop.Scheduler(s), Clock: bugs.TrialClock()})
 		return out.Manifested
 	}
 

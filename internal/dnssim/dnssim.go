@@ -114,8 +114,9 @@ func (r *Resolver) Lookup(host string, cb func(addrs []string, err error)) {
 	if cb == nil {
 		cb = func([]string, error) {}
 	}
+	clk := r.loop.Clock()
 	r.mu.Lock()
-	if e, ok := r.cache[host]; ok && time.Now().Before(e.expires) {
+	if e, ok := r.cache[host]; ok && clk.Now().Before(e.expires) {
 		addrs := append([]string(nil), e.addrs...)
 		r.mu.Unlock()
 		r.loop.NextTickNamed("dns-cached", func() { cb(addrs, nil) })
@@ -123,10 +124,11 @@ func (r *Resolver) Lookup(host string, cb func(addrs []string, err error)) {
 	}
 	r.mu.Unlock()
 
-	d := r.queryTime()
-	r.loop.QueueWork("dns:"+host,
+	// The upstream latency rides on the task (not a sleep inside the work
+	// function) so the pool charges it to the trial clock — simulated time
+	// under a virtual clock, a real sleep otherwise.
+	r.loop.QueueWorkLatency("dns:"+host, r.queryTime(),
 		func() (any, error) {
-			time.Sleep(d)
 			r.mu.Lock()
 			defer r.mu.Unlock()
 			r.lookups++
@@ -136,7 +138,7 @@ func (r *Resolver) Lookup(host string, cb func(addrs []string, err error)) {
 			}
 			out := append([]string(nil), addrs...)
 			if r.ttl > 0 {
-				r.cache[host] = cacheEntry{addrs: out, expires: time.Now().Add(r.ttl)}
+				r.cache[host] = cacheEntry{addrs: out, expires: clk.Now().Add(r.ttl)}
 			}
 			return out, nil
 		},

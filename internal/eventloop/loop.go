@@ -22,6 +22,7 @@ import (
 
 	"nodefz/internal/metrics"
 	"nodefz/internal/pool"
+	"nodefz/internal/vclock"
 )
 
 // Standard callback-kind names used in type schedules. Substrates define
@@ -50,6 +51,11 @@ type Options struct {
 	// per-phase counts, durations, and queue depths into. Nil creates a
 	// private per-loop registry, readable via Loop.Metrics.
 	Metrics *metrics.Registry
+	// Clock is the loop's time source. Nil means vclock.Wall (real time).
+	// A vclock.Virtual clock runs timer waits, injected delays, and the
+	// pool's lookahead window in simulated time: a trial that "waits"
+	// 500ms completes in microseconds of CPU.
+	Clock vclock.Clock
 }
 
 // The loop phases, indexing the per-phase instruments. "ticks" covers the
@@ -96,13 +102,16 @@ type Stats struct {
 type Loop struct {
 	sched Scheduler
 	rec   Recorder
+	clk   vclock.Clock
+	role  int // the loop's virtual-clock wake role
 
-	mu       sync.Mutex
-	wake     chan struct{}
-	pending  []*Event // ready events (the "epoll results")
-	deferred []*Event // events the scheduler pushed to the next iteration
-	refs     int      // live handles + outstanding work
-	stopped  bool
+	mu          sync.Mutex
+	wake        chan wakeToken
+	pollBlocked bool     // loop is inside poll's blocking wait (guards wake-veto pairing)
+	pending     []*Event // ready events (the "epoll results")
+	deferred    []*Event // events the scheduler pushed to the next iteration
+	refs        int      // live handles + outstanding work
+	stopped     bool
 
 	// Loop-goroutine-only state (no locking needed).
 	timers     timerHeap
@@ -148,6 +157,14 @@ type closeReq struct {
 	fn    func()
 }
 
+// wakeToken is one poll wakeup. vetoed records whether the sender paired it
+// with a virtual-clock run grant (it does so only when the loop is inside
+// poll's blocking wait); whoever drains the token outside that wait must
+// revoke the grant with Unwake.
+type wakeToken struct {
+	vetoed bool
+}
+
 type nopLocker struct{}
 
 func (nopLocker) Lock()   {}
@@ -167,13 +184,24 @@ func New(opts Options) *Loop {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.Wall{}
+	}
 	l := &Loop{
 		sched:        opts.Scheduler,
 		rec:          opts.Recorder,
-		wake:         make(chan struct{}, 1),
+		clk:          opts.Clock,
+		wake:         make(chan wakeToken, 1),
 		phaseHandles: make(map[PhaseKind][]*PhaseHandle),
 		reg:          opts.Metrics,
 	}
+	// The loop registers as a clock participant before the pool spawns its
+	// workers: as the first registrant it takes the virtual run token, so
+	// pre-Run setup (registering timers from the caller's goroutine, which
+	// becomes the loop goroutine) runs before any worker gets a turn and can
+	// never race a virtual advance.
+	l.clk.Register()
+	l.role = l.clk.AllocRole()
 	for p := 0; p < numPhases; p++ {
 		l.phaseCB[p] = l.reg.Counter("loop.phase." + phaseNames[p] + ".callbacks")
 		l.phaseNS[p] = l.reg.Histogram("loop.phase."+phaseNames[p]+".ns", metrics.DurationBounds())
@@ -204,6 +232,7 @@ func New(opts Options) *Loop {
 		RunLock: workLock,
 		Demux:   l.sched.DemuxDone(),
 		Metrics: l.reg,
+		Clock:   l.clk,
 		Post: func(kind, label string, cb func()) {
 			l.post(&Event{Kind: kind, Label: label, CB: cb})
 		},
@@ -218,6 +247,11 @@ func New(opts Options) *Loop {
 
 // Scheduler returns the loop's scheduler.
 func (l *Loop) Scheduler() Scheduler { return l.sched }
+
+// Clock returns the loop's time source. Substrates that sleep or stamp
+// deadlines must use it instead of the time package so trials stay correct
+// (and fast) under a virtual clock.
+func (l *Loop) Clock() vclock.Clock { return l.clk }
 
 // Metrics returns the loop's metrics registry (per-phase counts and
 // durations, worker-pool activity, and whatever substrates add).
@@ -355,10 +389,30 @@ func (l *Loop) unref() {
 }
 
 func (l *Loop) wakeup() {
-	select {
-	case l.wake <- struct{}{}:
-	default:
+	// A wake aimed at a poll-blocked loop must carry a virtual-clock run
+	// grant: the grant vetoes advances until the loop consumes it (so the
+	// poll timer can never become ready concurrently and the two-way select
+	// stays deterministic) and fixes the loop's position in the run order
+	// relative to other pending wakes. A wake sent while the loop is
+	// anywhere else needs no grant — the loop will notice the queued work
+	// via pollTimeout before it ever blocks again — and MUST not carry one:
+	// an unclaimed grant would wedge the clock. Reading pollBlocked and
+	// sending under l.mu makes the flag/token pairing atomic against poll's
+	// own transitions.
+	l.mu.Lock()
+	vetoed := l.pollBlocked
+	if vetoed {
+		l.clk.Wake(l.role)
 	}
+	select {
+	case l.wake <- wakeToken{vetoed: vetoed}:
+	default:
+		// Coalesced into an already-pending token; revoke the grant.
+		if vetoed {
+			l.clk.Unwake(l.role)
+		}
+	}
+	l.mu.Unlock()
 }
 
 // post delivers a ready event to the poll phase. Safe from any goroutine.
@@ -374,7 +428,10 @@ func (l *Loop) post(ev *Event) {
 func (l *Loop) execute(kind, label string, cb func()) {
 	atomic.AddInt64(&l.stats.Callbacks, 1)
 	l.phaseCB[l.curPhase].Inc()
-	l.runLock.Lock()
+	// Under the virtual clock a contended run lock means a worker holds it,
+	// possibly while charging simulated I/O latency; LockBlocking counts the
+	// wait as blocked so the clock can advance past that latency.
+	vclock.LockBlocking(l.clk, l.runLock)
 	l.rec.Record(kind, label)
 	if l.depth.Add(1) != 1 {
 		panic("eventloop: overlapping loop callbacks")
@@ -400,7 +457,7 @@ func (l *Loop) drainTicks() {
 
 		atomic.AddInt64(&l.stats.Callbacks, 1)
 		l.phaseCB[phTicks].Inc()
-		l.runLock.Lock()
+		vclock.LockBlocking(l.clk, l.runLock)
 		l.rec.Record(KindTick, t.label)
 		if l.depth.Add(1) != 1 {
 			panic("eventloop: overlapping loop callbacks")
@@ -444,7 +501,7 @@ func (l *Loop) addTimer(d, period time.Duration, label string, cb func()) *Timer
 	t := &Timer{
 		loop:     l,
 		cb:       cb,
-		deadline: time.Now().Add(d),
+		deadline: l.clk.Now().Add(d),
 		dur:      d,
 		period:   period,
 		seq:      l.timerSeq,
@@ -463,7 +520,7 @@ func (l *Loop) runTimers() {
 	if l.isStopped() {
 		return
 	}
-	now := time.Now()
+	now := l.clk.Now()
 	var due []*Timer
 	for l.timers.Len() > 0 && !l.timers[0].deadline.After(now) {
 		due = append(due, heap.Pop(&l.timers).(*Timer))
@@ -488,7 +545,9 @@ func (l *Loop) runTimers() {
 		l.fireTimer(t)
 	}
 	if run < len(due) && delay > 0 {
-		time.Sleep(delay)
+		// The short-circuit's injected delay (§4.3.4). Under the virtual
+		// clock this advances simulated time instead of burning wall time.
+		l.clk.Sleep(delay)
 	}
 }
 
@@ -497,7 +556,7 @@ func (l *Loop) fireTimer(t *Timer) {
 		return
 	}
 	if t.period > 0 {
-		t.deadline = time.Now().Add(t.period)
+		t.deadline = l.clk.Now().Add(t.period)
 		heap.Push(&l.timers, t)
 	} else {
 		t.stopped = true
@@ -516,7 +575,7 @@ func (l *Loop) nextTimerWait() (time.Duration, bool) {
 	if l.timers.Len() == 0 {
 		return 0, false
 	}
-	d := time.Until(l.timers[0].deadline)
+	d := l.clk.Until(l.timers[0].deadline)
 	if d < 0 {
 		d = 0
 	}
@@ -553,7 +612,7 @@ func (l *Loop) timeInPoll() time.Duration {
 	if start == 0 {
 		return 0
 	}
-	return time.Duration(time.Now().UnixNano() - start)
+	return time.Duration(l.clk.Now().UnixNano() - start)
 }
 
 // poll blocks for ready events (bounded by the next timer deadline and by
@@ -562,18 +621,7 @@ func (l *Loop) timeInPoll() time.Duration {
 func (l *Loop) poll() {
 	timeout := l.pollTimeout()
 	if timeout != 0 {
-		l.pollStart.Store(time.Now().UnixNano())
-		if timeout < 0 {
-			<-l.wake
-		} else {
-			t := time.NewTimer(timeout)
-			select {
-			case <-l.wake:
-			case <-t.C:
-			}
-			t.Stop()
-		}
-		l.pollStart.Store(0)
+		l.pollWait(timeout)
 	}
 	if l.isStopped() {
 		return
@@ -617,6 +665,78 @@ func (l *Loop) poll() {
 			return
 		}
 	}
+}
+
+// pollWait parks the loop until a wakeup arrives or timeout elapses
+// (timeout < 0 blocks indefinitely). The invariant it maintains for the
+// virtual clock: while the loop sits in the blocking select, any token in
+// l.wake carries a run grant, and an unclaimed grant vetoes advances — so
+// the bounding timer can never become ready at the same moment as a token
+// and the select is deterministic. A granted wake resumes through
+// AwaitTurn, which parks until every earlier-granted participant has had
+// its turn; a timer-driven exit resumes through Unblock, which consumes
+// the fire that woke it.
+func (l *Loop) pollWait(timeout time.Duration) {
+	l.mu.Lock()
+	l.pollBlocked = true
+	l.mu.Unlock()
+	l.pollStart.Store(l.clk.Now().UnixNano())
+	// Workers waiting out the lookahead window bound their wait by how long
+	// we sit in poll; tell them the clock just started.
+	l.pool.PokeWaiters()
+
+	// Entry drain: a token sent before pollBlocked became visible carries no
+	// grant (and an unconsumed one from a previous poll may carry a stale
+	// one). Swallowing it here — and skipping the blocking wait, since a
+	// wakeup means there is work — re-establishes the invariant above.
+	select {
+	case tok := <-l.wake:
+		if tok.vetoed {
+			l.clk.Unwake(l.role)
+		}
+	default:
+		if timeout < 0 {
+			l.clk.Block()
+			tok := <-l.wake
+			if tok.vetoed {
+				l.clk.AwaitTurn(l.role)
+			} else {
+				l.clk.UnblockKeep()
+			}
+		} else {
+			t := l.clk.NewTimer(timeout)
+			l.clk.Block()
+			select {
+			case tok := <-l.wake:
+				// Stop before retaking the token: an abandoned deadline
+				// must leave the heap before the next advance can trigger.
+				t.Stop()
+				if tok.vetoed {
+					l.clk.AwaitTurn(l.role)
+				} else {
+					l.clk.UnblockKeep()
+				}
+			case <-t.C:
+				t.Stop()
+				l.clk.Unblock()
+			}
+		}
+	}
+
+	l.mu.Lock()
+	l.pollBlocked = false
+	l.mu.Unlock()
+	// Exit drain: a granted token that raced a timer-driven exit must not
+	// survive into the phases below — its unclaimed grant would wedge the
+	// clock. The work it announced is already queued.
+	select {
+	case tok := <-l.wake:
+		if tok.vetoed {
+			l.clk.Unwake(l.role)
+		}
+	default:
+	}
+	l.pollStart.Store(0)
 }
 
 // pollTimeout mirrors uv_backend_timeout: 0 when there is anything to do
@@ -731,10 +851,19 @@ func (l *Loop) runClosing() {
 // with fn's results, like uv_queue_work. The loop stays alive until done
 // has run. Safe from any goroutine.
 func (l *Loop) QueueWork(name string, fn func() (any, error), done func(any, error)) {
+	l.QueueWorkLatency(name, 0, fn, done)
+}
+
+// QueueWorkLatency is QueueWork with a simulated service time: the worker is
+// occupied for latency before (wall) or around (virtual) running fn. It is
+// how substrates model disk or resolver delay so that, under a virtual
+// clock, the delay advances simulated time instead of sleeping.
+func (l *Loop) QueueWorkLatency(name string, latency time.Duration, fn func() (any, error), done func(any, error)) {
 	l.ref()
 	l.pool.Submit(&pool.Task{
-		Name: name,
-		Fn:   fn,
+		Name:    name,
+		Latency: latency,
+		Fn:      fn,
 		Done: func(res any, err error) {
 			defer l.unref()
 			if done != nil {

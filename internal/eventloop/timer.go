@@ -60,7 +60,7 @@ func (t *Timer) Refresh() {
 	if t.index >= 0 {
 		heap.Remove(&t.loop.timers, t.index)
 	}
-	t.deadline = time.Now().Add(t.dur)
+	t.deadline = t.loop.clk.Now().Add(t.dur)
 	t.loop.timerSeq++
 	t.seq = t.loop.timerSeq
 	heap.Push(&t.loop.timers, t)

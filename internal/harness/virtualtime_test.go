@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nodefz/internal/bugs"
+	"nodefz/internal/core"
+	"nodefz/internal/sched"
+	"nodefz/internal/vclock"
+)
+
+// runVirtualTrial executes one live trial of abbr under a fresh virtual
+// clock, returning the full scheduler decision trace, the recorded type
+// schedule, and the (virtual) entry timestamps.
+func runVirtualTrial(t *testing.T, abbr string, mode Mode, seed int64) (*core.Trace, []string, []time.Time) {
+	t.Helper()
+	app := bugs.ByAbbr(abbr)
+	if app == nil {
+		t.Fatalf("unknown app %q", abbr)
+	}
+	recording := core.NewRecording(SchedulerFor(mode, seed))
+	rec := sched.NewRecorder()
+	app.Run(bugs.RunConfig{
+		Seed:      seed,
+		Scheduler: recording,
+		Recorder:  rec,
+		Clock:     vclock.NewVirtual(),
+	})
+	entries := rec.Entries()
+	stamps := make([]time.Time, len(entries))
+	for i, e := range entries {
+		stamps[i] = e.At
+	}
+	return recording.Trace(), rec.Types(), stamps
+}
+
+// TestVirtualTimeDeterminism: under the virtual clock a trial is a pure
+// function of the seed. Unlike TestSeedDeterminism's synthetic driver, this
+// runs LIVE trials — loop, worker pool, and network engine all scheduling
+// against the clock — and demands bit-identical results across runs: the
+// same decision trace, the same type schedule, and the same virtual
+// timestamps. Run with -race: any two participants executing concurrently
+// is exactly the kind of bug that breaks this guarantee.
+func TestVirtualTimeDeterminism(t *testing.T) {
+	const runs = 3
+	for _, tc := range []struct {
+		abbr string
+		mode Mode
+	}{
+		{"SIO", ModeFZ},  // network-heavy: loop + simnet engine
+		{"MKD", ModeFZ},  // filesystem-heavy: loop + worker pool
+		{"KUE", ModeNFZ}, // no-fuzz serialized baseline
+	} {
+		tc := tc
+		t.Run(tc.abbr+"/"+tc.mode.String(), func(t *testing.T) {
+			t.Parallel()
+			baseTrace, baseTypes, baseStamps := runVirtualTrial(t, tc.abbr, tc.mode, 42)
+			if len(baseTypes) == 0 {
+				t.Fatal("trial recorded no callbacks — test is vacuous")
+			}
+			for r := 1; r < runs; r++ {
+				tr, types, stamps := runVirtualTrial(t, tc.abbr, tc.mode, 42)
+				if !reflect.DeepEqual(baseTrace, tr) {
+					t.Fatalf("run %d: decision trace diverged from run 0", r)
+				}
+				if !reflect.DeepEqual(baseTypes, types) {
+					t.Fatalf("run %d: type schedule diverged from run 0:\n%v\nvs\n%v",
+						r, baseTypes, types)
+				}
+				if !reflect.DeepEqual(baseStamps, stamps) {
+					t.Fatalf("run %d: virtual timestamps diverged from run 0", r)
+				}
+			}
+
+			// Distinct seeds must still explore distinct schedules (the clock
+			// must not collapse the fuzzer's randomness).
+			if tc.mode == ModeFZ {
+				otherTrace, _, _ := runVirtualTrial(t, tc.abbr, tc.mode, 43)
+				if reflect.DeepEqual(baseTrace, otherTrace) {
+					t.Error("different seeds produced identical decision traces")
+				}
+			}
+		})
+	}
+}
+
+// TestWallModeRegression: with virtual time off nothing changes — RunConfig
+// with a nil Clock still hands the loop a wall clock, waits consume real
+// time, and trials complete normally.
+func TestWallModeRegression(t *testing.T) {
+	if _, ok := (bugs.RunConfig{}).NewLoop().Clock().(vclock.Wall); !ok {
+		t.Fatal("nil RunConfig.Clock must yield a wall clock")
+	}
+	if bugs.VirtualTimeEnabled() {
+		t.Fatal("virtual time must default to off")
+	}
+	if c := bugs.TrialClock(); c != nil {
+		t.Fatalf("TrialClock with virtual time off = %T, want nil (wall)", c)
+	}
+
+	app := bugs.ByAbbr("SIO")
+	rec := sched.NewRecorder()
+	start := time.Now()
+	app.Run(bugs.RunConfig{
+		Seed:      42,
+		Scheduler: SchedulerFor(ModeNFZ, 42),
+		Recorder:  rec,
+	})
+	elapsed := time.Since(start)
+	if rec.Len() == 0 {
+		t.Fatal("wall-mode trial recorded no callbacks")
+	}
+	// SIO's network round trips sit at millisecond scale; a wall-mode trial
+	// must actually spend that time (a virtual trial finishes in microseconds).
+	if elapsed < 2*time.Millisecond {
+		t.Fatalf("wall-mode trial took %v — waits did not consume real time", elapsed)
+	}
+}

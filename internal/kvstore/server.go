@@ -88,7 +88,7 @@ func (s *Server) expired(key string) bool {
 	if !ok {
 		return false
 	}
-	if time.Now().Before(exp) {
+	if s.loop.Clock().Now().Before(exp) {
 		return false
 	}
 	delete(s.expiry, key)
@@ -129,7 +129,7 @@ func (s *Server) apply(req request) response {
 		}
 		s.strings[key] = arg(1)
 		if ms, err := strconv.Atoi(arg(2)); err == nil && ms > 0 {
-			s.expiry[key] = time.Now().Add(time.Duration(ms) * time.Millisecond)
+			s.expiry[key] = s.loop.Clock().Now().Add(time.Duration(ms) * time.Millisecond)
 		}
 		resp.OK = true
 

@@ -43,7 +43,7 @@ func New(l *eventloop.Loop, interval time.Duration, maxSamples int) *Monitor {
 		maxSamples = 4096
 	}
 	m := &Monitor{loop: l, interval: interval, maxKeep: maxSamples}
-	m.expected = time.Now().Add(interval)
+	m.expected = l.Clock().Now().Add(interval)
 	m.timer = l.SetIntervalNamed("lag-probe", interval, m.sample)
 	// The probe must never keep an otherwise-finished program alive.
 	m.timer.Unref()
@@ -60,7 +60,7 @@ func (m *Monitor) Attach(reg *metrics.Registry) *Monitor {
 }
 
 func (m *Monitor) sample() {
-	now := time.Now()
+	now := m.loop.Clock().Now()
 	lag := now.Sub(m.expected)
 	if lag < 0 {
 		lag = 0

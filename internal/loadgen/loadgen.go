@@ -92,14 +92,15 @@ func (r Result) String() string {
 func Run(l *eventloop.Loop, net *simnet.Network, addr string, cfg Config, done func(Result)) {
 	cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	clk := l.Clock()
 	res := &Result{}
-	start := time.Now()
+	start := clk.Now()
 	remainingClients := cfg.Clients
 
 	clientDone := func() {
 		remainingClients--
 		if remainingClients == 0 {
-			res.Elapsed = time.Since(start)
+			res.Elapsed = clk.Since(start)
 			done(*res)
 		}
 	}
@@ -122,13 +123,13 @@ func Run(l *eventloop.Loop, net *simnet.Network, addr string, cfg Config, done f
 				}
 				path := cfg.Paths[(c+issued)%len(cfg.Paths)]
 				issued++
-				reqStart := time.Now()
+				reqStart := clk.Now()
 				hc.Get(path, func(resp *httpsim.Response, err error) {
 					res.Requests++
 					if err != nil || resp.Status >= 400 {
 						res.Errors++
 					}
-					res.latencies = append(res.latencies, time.Since(reqStart))
+					res.latencies = append(res.latencies, clk.Since(reqStart))
 					if cfg.ThinkTime <= 0 {
 						next()
 						return

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"nodefz/internal/metrics"
+	"nodefz/internal/vclock"
 )
 
 // Task is one unit of work offloaded to the pool, like a libuv uv_work_t:
@@ -34,6 +35,13 @@ type Task struct {
 	// Done is the completion callback, executed on the event loop with Fn's
 	// results. May be nil.
 	Done func(result any, err error)
+	// Latency is simulated service time charged to the worker (substrates
+	// use it to model disk or resolver delay). In wall mode it is slept
+	// inside the serialized region, exactly where substrates historically
+	// slept inside Fn; under a virtual clock it is charged before the run
+	// lock is taken, because a participant must never wait on the clock
+	// while holding a lock the loop needs.
+	Latency time.Duration
 
 	result any
 	err    error
@@ -86,6 +94,9 @@ type Config struct {
 	// Metrics receives pool activity: task/done queue depths, task
 	// durations, worker busy time. Nil creates a private registry.
 	Metrics *metrics.Registry
+	// Clock is the pool's time source for the lookahead wait; the workers
+	// register as clock participants. Nil means vclock.Wall.
+	Clock vclock.Clock
 }
 
 // Pool is a worker pool. Create with New, feed with Submit, and shut down
@@ -93,12 +104,27 @@ type Config struct {
 type Pool struct {
 	cfg Config
 
+	clk  vclock.Clock
+	role int // the workers' shared virtual-clock wake role
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*Task
 	doneq  []*Task // multiplexed done queue (Demux == false)
 	closed bool
 	wg     sync.WaitGroup
+
+	// Wake accounting for the virtual clock, guarded by mu. waiters counts
+	// workers parked in cond.Wait; sigPending counts cond.Signals sent but
+	// not yet consumed (each paired with one clock run grant). fillWaiting
+	// counts workers parked in the lookahead wait on the fill channel.
+	waiters     int
+	sigPending  int
+	fillWaiting int
+	// fill nudges a lookahead-waiting worker: the queue grew, the loop
+	// entered poll, or the pool is closing. Cap 1; sends are paired with a
+	// clock run grant and only attempted while fillWaiting > 0.
+	fill chan struct{}
 
 	// stats, guarded by mu
 	executed int
@@ -127,7 +153,10 @@ func New(cfg Config) *Pool {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	p := &Pool{cfg: cfg}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Wall{}
+	}
+	p := &Pool{cfg: cfg, clk: cfg.Clock, fill: make(chan struct{}, 1)}
 	p.mSubmitted = cfg.Metrics.Counter("pool.tasks_submitted")
 	p.mExecuted = cfg.Metrics.Counter("pool.tasks_executed")
 	p.mBusyNS = cfg.Metrics.Counter("pool.busy_ns")
@@ -136,8 +165,12 @@ func New(cfg Config) *Pool {
 	p.mPickWindow = cfg.Metrics.Histogram("pool.pick_window", metrics.DepthBounds())
 	p.mTaskNS = cfg.Metrics.Histogram("pool.task_ns", metrics.DurationBounds())
 	p.cond = sync.NewCond(&p.mu)
+	p.role = p.clk.AllocRole()
 	p.wg.Add(cfg.Size)
 	for i := 0; i < cfg.Size; i++ {
+		// The spawn grant fixes each worker's place in the virtual run
+		// order; the worker claims it with Start before touching the queue.
+		p.clk.Wake(p.role)
 		go p.worker()
 	}
 	return p
@@ -150,10 +183,41 @@ func (p *Pool) Submit(t *Task) {
 	p.mu.Lock()
 	p.queue = append(p.queue, t)
 	depth := len(p.queue)
+	// Wake exactly one idle worker per submit, granting it a virtual-clock
+	// turn: sigPending tracks signals not yet consumed so repeated submits
+	// never over-grant a single waiter.
+	if p.waiters > p.sigPending {
+		p.clk.Wake(p.role)
+		p.sigPending++
+		p.cond.Signal()
+	}
+	p.pokeFillLocked()
 	p.mu.Unlock()
 	p.mSubmitted.Inc()
 	p.mQueueDepth.Observe(int64(depth))
-	p.cond.Broadcast()
+}
+
+// pokeFillLocked nudges a lookahead-waiting worker, pairing the cap-1 send
+// with a clock run grant. Caller holds p.mu (fillWaiting is stable).
+func (p *Pool) pokeFillLocked() {
+	if p.fillWaiting == 0 {
+		return
+	}
+	p.clk.Wake(p.role)
+	select {
+	case p.fill <- struct{}{}:
+	default:
+		p.clk.Unwake(p.role)
+	}
+}
+
+// PokeWaiters tells lookahead-waiting workers that the owning loop's state
+// changed (it entered its poll phase, starting the epoll-threshold clock) so
+// they can rebound their wait. Safe from any goroutine.
+func (p *Pool) PokeWaiters() {
+	p.mu.Lock()
+	p.pokeFillLocked()
+	p.mu.Unlock()
 }
 
 // QueueLen reports the number of tasks waiting to be executed.
@@ -176,9 +240,16 @@ func (p *Pool) Executed() int {
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
+	p.pokeFillLocked()
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	// The shutdown wait counts as blocked on the clock: a stopped trial can
+	// leave a worker mid-way through charging virtual task latency, and the
+	// clock must stay free to advance it to completion. Close's only
+	// production caller is the loop's Run — a registered participant.
+	p.clk.Block()
 	p.wg.Wait()
+	p.clk.UnblockKeep()
 }
 
 // Restart re-spawns the workers of a closed pool; a no-op on a running
@@ -194,22 +265,33 @@ func (p *Pool) Restart() {
 	p.mu.Unlock()
 	p.wg.Add(p.cfg.Size)
 	for i := 0; i < p.cfg.Size; i++ {
+		p.clk.Wake(p.role)
 		go p.worker()
 	}
 }
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	p.clk.Register()
+	defer p.clk.Unregister()
+	p.clk.Start(p.role)
 	for {
 		t, ok := p.take()
 		if !ok {
 			return
 		}
+		_, wall := p.clk.(vclock.Wall)
+		if t.Latency > 0 && !wall {
+			p.clk.Sleep(t.Latency)
+		}
 		if p.cfg.RunLock != nil {
-			p.cfg.RunLock.Lock()
+			vclock.LockBlocking(p.clk, p.cfg.RunLock)
 		}
 		if p.cfg.Record != nil {
 			p.cfg.Record("work", t.Name)
+		}
+		if t.Latency > 0 && wall {
+			time.Sleep(t.Latency)
 		}
 		start := time.Now()
 		t.result, t.err = t.Fn()
@@ -229,34 +311,44 @@ func (p *Pool) worker() {
 func (p *Pool) take() (t *Task, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.queue) == 0 {
-		if p.closed {
-			return nil, false
-		}
-		p.cond.Wait()
-	}
-
-	// Wait for the queue to fill up to the lookahead window (§4.3.4,
-	// "Scheduling the Worker Pool"), bounded by maxDelay and by how long the
-	// event loop has been idle in poll.
-	dof, maxDelay, pollThreshold := p.cfg.Picker.WaitPolicy()
-	if maxDelay > 0 && (dof < 0 || len(p.queue) < dof) {
-		deadline := time.Now().Add(maxDelay)
-		for !p.closed && (dof < 0 || len(p.queue) < dof) && time.Now().Before(deadline) {
-			if p.cfg.TimeInPoll != nil && pollThreshold > 0 && p.cfg.TimeInPoll() >= pollThreshold {
-				break
+	var dof int
+	for {
+		for len(p.queue) == 0 {
+			if p.closed {
+				return nil, false
 			}
-			p.mu.Unlock()
-			time.Sleep(20 * time.Microsecond)
-			p.mu.Lock()
-			if len(p.queue) == 0 {
-				// Another worker drained the queue while we slept.
-				if p.closed {
+			p.waiters++
+			p.clk.Block()
+			p.cond.Wait()
+			p.waiters--
+			if p.sigPending > 0 {
+				// A Submit signalled us and granted a turn; claim it without
+				// holding p.mu (the running participant may need the pool).
+				p.sigPending--
+				p.mu.Unlock()
+				p.clk.AwaitTurn(p.role)
+				p.mu.Lock()
+			} else {
+				// Close's broadcast carries no grant.
+				p.clk.UnblockKeep()
+			}
+		}
+
+		// Wait for the queue to fill up to the lookahead window (§4.3.4,
+		// "Scheduling the Worker Pool"), bounded by maxDelay and by how long
+		// the event loop has been idle in poll. A sibling worker may drain
+		// the queue while we wait, in which case start over.
+		var maxDelay, pollThreshold time.Duration
+		dof, maxDelay, pollThreshold = p.cfg.Picker.WaitPolicy()
+		if maxDelay > 0 && (dof < 0 || len(p.queue) < dof) {
+			if !p.fillWaitLocked(dof, maxDelay, pollThreshold) {
+				if p.closed && len(p.queue) == 0 {
 					return nil, false
 				}
-				return p.take2()
+				continue
 			}
 		}
+		break
 	}
 
 	window := len(p.queue)
@@ -278,20 +370,59 @@ func (p *Pool) take() (t *Task, ok bool) {
 	return t, true
 }
 
-// take2 restarts take after losing the queue to a sibling worker. Split out
-// so take's defer unlocks exactly once.
-func (p *Pool) take2() (*Task, bool) {
-	for len(p.queue) == 0 {
-		if p.closed {
-			return nil, false
+// fillWaitLocked parks the worker until the lookahead window fills, the
+// fill deadline or the loop's poll threshold expires, or the pool closes.
+// Instead of the historical 20µs unlock/sleep/lock spin it waits on the
+// fill channel bounded by a clock timer: no busy CPU in wall mode, no time
+// at all in virtual mode. Caller holds p.mu; returns with p.mu held, false
+// when the queue emptied and the caller must start over.
+func (p *Pool) fillWaitLocked(dof int, maxDelay, pollThreshold time.Duration) bool {
+	deadline := p.clk.Now().Add(maxDelay)
+	for !p.closed && (dof < 0 || len(p.queue) < dof) {
+		remaining := p.clk.Until(deadline)
+		if remaining <= 0 {
+			break
 		}
-		p.cond.Wait()
+		if p.cfg.TimeInPoll != nil && pollThreshold > 0 {
+			tip := p.cfg.TimeInPoll()
+			if tip >= pollThreshold {
+				break
+			}
+			// The loop is sitting in poll: the threshold trips before our
+			// fill deadline, so bound the wait by it. (When the loop enters
+			// poll mid-wait it pokes us and we rebound here.)
+			if tip > 0 && pollThreshold-tip < remaining {
+				remaining = pollThreshold - tip
+			}
+		}
+		p.fillWaiting++
+		t := p.clk.NewTimerPri(remaining, 1)
+		p.mu.Unlock()
+		p.clk.Block()
+		select {
+		case <-p.fill:
+			// A nudge carries a run grant; stop the abandoned timer before
+			// claiming our turn (an advance may trigger while we wait).
+			t.Stop()
+			p.clk.AwaitTurn(p.role)
+		case <-t.C:
+			t.Stop()
+			p.clk.Unblock()
+		}
+		p.mu.Lock()
+		p.fillWaiting--
+		// A nudge that raced the timer leaves its token (and its unclaimed
+		// grant) behind; both must be consumed before anyone blocks again.
+		select {
+		case <-p.fill:
+			p.clk.Unwake(p.role)
+		default:
+		}
+		if len(p.queue) == 0 {
+			return false
+		}
 	}
-	t := p.queue[0]
-	p.queue = p.queue[1:]
-	p.executed++
-	p.mExecuted.Inc()
-	return t, true
+	return len(p.queue) > 0
 }
 
 // complete routes the finished task to the loop: either as its own poll

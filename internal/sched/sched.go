@@ -31,17 +31,26 @@ type Entry struct {
 //
 // The zero value is ready to use.
 type Recorder struct {
+	// Now supplies entry timestamps; nil means time.Now. Trials running
+	// under a virtual clock must point this at the trial clock, or the
+	// wall-clock stamps make otherwise deterministic traces diverge.
+	Now func() time.Time
+
 	mu      sync.Mutex
 	entries []Entry
 }
 
-// NewRecorder returns an empty Recorder.
+// NewRecorder returns an empty Recorder stamping entries with wall time.
 func NewRecorder() *Recorder { return &Recorder{} }
 
 // Record appends one executed callback to the schedule.
 func (r *Recorder) Record(kind, label string) {
+	now := time.Now
+	if r.Now != nil {
+		now = r.Now
+	}
 	r.mu.Lock()
-	r.entries = append(r.entries, Entry{Seq: len(r.entries), Kind: kind, Label: label, At: time.Now()})
+	r.entries = append(r.entries, Entry{Seq: len(r.entries), Kind: kind, Label: label, At: now()})
 	r.mu.Unlock()
 }
 

@@ -28,6 +28,9 @@ type Async struct {
 // generator, because real disk service times vary and that variance is
 // what reorders concurrent completions.
 func Bind(loop *eventloop.Loop, fs *FS, latency time.Duration, seed int64) *Async {
+	if loop != nil {
+		fs.SetClock(loop.Clock())
+	}
 	return &Async{
 		loop:    loop,
 		fs:      fs,
@@ -50,13 +53,10 @@ func (a *Async) serviceTime() time.Duration {
 }
 
 func (a *Async) work(op string, fn func() (any, error), done func(any, error)) {
-	d := a.serviceTime()
-	a.loop.QueueWork("fs:"+op, func() (any, error) {
-		if d > 0 {
-			time.Sleep(d)
-		}
-		return fn()
-	}, done)
+	// The service time rides on the task as Latency (instead of a sleep
+	// inside fn) so the pool can charge it to the trial clock: real sleep in
+	// wall mode, a simulated-time advance under a virtual clock.
+	a.loop.QueueWorkLatency("fs:"+op, a.serviceTime(), fn, done)
 }
 
 // Mkdir is the asynchronous FS.Mkdir.

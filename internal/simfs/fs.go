@@ -22,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"nodefz/internal/vclock"
 )
 
 // DefaultPageSize is the write-atomicity granularity, matching a common OS
@@ -42,6 +44,7 @@ type FS struct {
 	watchers []*Watcher
 
 	pageDelay time.Duration // simulated disk time per page (see SetPageWriteDelay)
+	clk       vclock.Clock  // time source for pageDelay; nil means wall time
 }
 
 type node struct {
@@ -76,6 +79,10 @@ func (fs *FS) PageSize() int { return fs.pageSize }
 // time per page, which is what gives concurrent overlapping writes their
 // §4.2.3 interleaving window; the default of 0 keeps unit tests fast.
 func (fs *FS) SetPageWriteDelay(d time.Duration) { fs.pageDelay = d }
+
+// SetClock installs the time source the page-write delay elapses on (Bind
+// wires the owning loop's clock in). Nil, the default, means wall time.
+func (fs *FS) SetClock(clk vclock.Clock) { fs.clk = clk }
 
 // OpCount reports how many times the named operation has been invoked,
 // successfully or not. Bug detectors use it (e.g. CLF counts creates).
@@ -297,7 +304,14 @@ func (fs *FS) WriteAt(path string, off int, data []byte) error {
 		off += chunk
 		data = data[chunk:]
 		if fs.pageDelay > 0 && len(data) > 0 {
-			time.Sleep(fs.pageDelay)
+			// Charge, not Sleep: WriteAt runs inside a pool task that may
+			// hold the run lock, and a participant must never block on the
+			// clock while holding a lock another participant needs.
+			if fs.clk != nil {
+				fs.clk.Charge(fs.pageDelay)
+			} else {
+				time.Sleep(fs.pageDelay)
+			}
 		}
 	}
 	fs.notify(WatchEvent{Op: WatchWrite, Path: canonical(path)})

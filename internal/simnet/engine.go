@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"sync"
 	"time"
+
+	"nodefz/internal/vclock"
 )
 
 // delivery is one scheduled network action: at due, fire fn (which posts a
@@ -38,6 +40,8 @@ func (h *deliveryHeap) Pop() any {
 // pending deliveries, fired when due. It is the wire — latency happens
 // here, and loops observe only the resulting poll events.
 type engine struct {
+	clk    vclock.Clock
+	role   int // the engine's virtual-clock wake role
 	mu     sync.Mutex
 	heap   deliveryHeap
 	seq    uint64
@@ -46,11 +50,19 @@ type engine struct {
 	closed bool
 }
 
-func newEngine() *engine {
+func newEngine(clk vclock.Clock) *engine {
+	if clk == nil {
+		clk = vclock.Wall{}
+	}
 	e := &engine{
+		clk:  clk,
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	e.role = clk.AllocRole()
+	// The spawn grant fixes the engine's place in the virtual run order;
+	// run() claims it with Start before touching the heap.
+	clk.Wake(e.role)
 	go e.run()
 	return e
 }
@@ -59,7 +71,7 @@ func newEngine() *engine {
 // (which enforces per-connection FIFO). It returns the actual due time so
 // callers can thread it as the next notBefore.
 func (e *engine) schedule(delay time.Duration, notBefore time.Time, fn func()) time.Time {
-	due := time.Now().Add(delay)
+	due := e.clk.Now().Add(delay)
 	if due.Before(notBefore) {
 		due = notBefore
 	}
@@ -71,9 +83,11 @@ func (e *engine) schedule(delay time.Duration, notBefore time.Time, fn func()) t
 	e.seq++
 	heap.Push(&e.heap, &delivery{due: due, seq: e.seq, fn: fn})
 	e.mu.Unlock()
+	e.clk.Wake(e.role)
 	select {
 	case e.wake <- struct{}{}:
 	default:
+		e.clk.Unwake(e.role)
 	}
 	return due
 }
@@ -91,8 +105,9 @@ func (e *engine) close() {
 }
 
 func (e *engine) run() {
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
+	e.clk.Register()
+	defer e.clk.Unregister()
+	e.clk.Start(e.role)
 	for {
 		e.mu.Lock()
 		if e.closed {
@@ -102,7 +117,7 @@ func (e *engine) run() {
 		var wait time.Duration = -1
 		var ready *delivery
 		if len(e.heap) > 0 {
-			now := time.Now()
+			now := e.clk.Now()
 			next := e.heap[0]
 			if !next.due.After(now) {
 				ready = heap.Pop(&e.heap).(*delivery)
@@ -117,24 +132,32 @@ func (e *engine) run() {
 			continue
 		}
 		if wait < 0 {
+			e.clk.Block()
 			select {
 			case <-e.wake:
+				// schedule granted us a turn; claim it in queue order.
+				e.clk.AwaitTurn(e.role)
 			case <-e.done:
+				// Teardown wake: no grant is addressed to us.
+				e.clk.UnblockKeep()
 				return
 			}
 			continue
 		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(wait)
+		t := e.clk.NewTimerPri(wait, 2)
+		e.clk.Block()
+		// Stop the abandoned timer before retaking the token: its deadline
+		// must leave the virtual heap before the next advance can trigger.
 		select {
 		case <-e.wake:
-		case <-timer.C:
+			t.Stop()
+			e.clk.AwaitTurn(e.role)
+		case <-t.C:
+			t.Stop()
+			e.clk.Unblock()
 		case <-e.done:
+			t.Stop()
+			e.clk.UnblockKeep()
 			return
 		}
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestEngineFiresInDueOrder(t *testing.T) {
-	e := newEngine()
+	e := newEngine(nil)
 	defer e.close()
 	var mu sync.Mutex
 	var order []int
@@ -34,7 +34,7 @@ func TestEngineFiresInDueOrder(t *testing.T) {
 }
 
 func TestEngineNotBeforeRaisesDue(t *testing.T) {
-	e := newEngine()
+	e := newEngine(nil)
 	defer e.close()
 	notBefore := time.Now().Add(20 * time.Millisecond)
 	fired := make(chan time.Time, 1)
@@ -53,7 +53,7 @@ func TestEngineNotBeforeRaisesDue(t *testing.T) {
 }
 
 func TestEngineCloseDropsPending(t *testing.T) {
-	e := newEngine()
+	e := newEngine(nil)
 	fired := false
 	e.schedule(50*time.Millisecond, time.Time{}, func() { fired = true })
 	e.close()
@@ -71,7 +71,7 @@ func TestEngineCloseDropsPending(t *testing.T) {
 }
 
 func TestEngineTieBreakBySequence(t *testing.T) {
-	e := newEngine()
+	e := newEngine(nil)
 	defer e.close()
 	due := time.Now().Add(5 * time.Millisecond)
 	var mu sync.Mutex
@@ -98,7 +98,7 @@ func TestEngineTieBreakBySequence(t *testing.T) {
 }
 
 func TestEngineHighVolume(t *testing.T) {
-	e := newEngine()
+	e := newEngine(nil)
 	defer e.close()
 	const n = 500
 	var wg sync.WaitGroup

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/vclock"
 )
 
 // Event kinds posted by the network.
@@ -45,6 +46,10 @@ type Config struct {
 	// MinLatency and MaxLatency bound the uniform per-message latency.
 	// Defaults: 50µs and 500µs.
 	MinLatency, MaxLatency time.Duration
+	// Clock is the delivery engine's time source (latencies elapse on it).
+	// Nil means wall time; pass the owning loop's clock to run the network
+	// in simulated time.
+	Clock vclock.Clock
 }
 
 // Network is a simulated network segment. All loops sharing the Network can
@@ -69,7 +74,7 @@ func New(cfg Config) *Network {
 	}
 	return &Network{
 		cfg:       cfg,
-		engine:    newEngine(),
+		engine:    newEngine(cfg.Clock),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		listeners: make(map[string]*Listener),
 	}

@@ -1,0 +1,493 @@
+// Package vclock provides a pluggable clock for the event-loop runtime: a
+// Wall clock that delegates to the time package (the default), and a Virtual
+// clock that simulates time discretely, FoundationDB-style. Under the
+// virtual clock a trial that "waits" 500ms of timer and injected-delay time
+// completes in microseconds of CPU: whenever every registered participant is
+// blocked waiting on the clock, the clock jumps straight to the earliest
+// pending deadline and fires it.
+//
+// # Participant protocol
+//
+// The virtual clock is a cooperative discrete-event simulation. Every
+// goroutine that can make progress independently (the event loop, each pool
+// worker, the simnet delivery engine) is a participant, and AT MOST ONE
+// participant executes at a time: the clock owns a single run token, and a
+// participant runs only while it holds it. Letting two participants run
+// concurrently — even briefly, even serialized by a mutex — makes lock
+// acquisition order, wake interleaving, and advance counts depend on the Go
+// scheduler, and trials stop being a pure function of the seed.
+//
+// The life of a participant:
+//
+//   - Its spawner (which holds the token) calls Wake(role) to enqueue a run
+//     grant, then starts the goroutine; the goroutine calls Register and
+//     then Start(role), which blocks until that grant reaches the head of
+//     the queue and the token is free.
+//   - To wait on a clock timer it brackets the wait with Block/Unblock.
+//     Block releases the token; Unblock (after the timer fires) retakes it.
+//   - To wait on an ordinary channel whose sender is another participant, it
+//     calls Block, waits, and retakes the token with AwaitTurn(role). The
+//     SENDER pairs every wake signal with Wake(role) — called immediately
+//     before the send — which both vetoes clock advances while the wake is
+//     in flight and fixes the wakee's position in the run order. A sender
+//     whose non-blocking send fails (the wake token was already present)
+//     must undo with Unwake, or the leaked grant wedges the clock forever.
+//
+// Grants are honoured strictly FIFO. Because only the running participant
+// (or a timer fire, of which there is one per advance) ever issues wakes,
+// the grant order — and therefore the entire execution order — is
+// deterministic.
+//
+// # Advancing
+//
+// When every participant is blocked, no grant is pending, and nobody holds
+// the token, nothing can make progress except the clock: it jumps to the
+// earliest pending deadline and fires exactly that one timer (ties broken by
+// pri, then creation order). The fire counts as an in-flight wake, so a
+// second advance cannot happen until the woken participant retakes the
+// token with Unblock.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// debugProtocol enables expensive invariant checks: operations that only the
+// run-token holder may perform (Wake, NewTimer, Charge, Block) print a stack
+// trace when called while the token is free. Diagnostic aid, off by default.
+var debugProtocol = os.Getenv("NODEFZ_VCLOCK_DEBUG") != ""
+
+// assertRunning reports a protocol violation (caller holds v.mu).
+func (v *Virtual) assertRunning(op string) {
+	if !debugProtocol || v.running || v.participants == 0 {
+		return
+	}
+	buf := make([]byte, 16384)
+	n := runtime.Stack(buf, false)
+	fmt.Fprintf(os.Stderr, "vclock: %s without run token (runq=%v fire=%d blocked=%d/%d)\n%s\n",
+		op, v.runq, v.fire, v.blocked, v.participants, buf[:n])
+}
+
+// Clock abstracts the runtime's use of time. Wall is the zero-cost
+// pass-through; Virtual simulates.
+type Clock interface {
+	// Now returns the current (real or simulated) time.
+	Now() time.Time
+	// Since is Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Until is t.Sub(Now()).
+	Until(t time.Time) time.Duration
+	// Sleep pauses the calling participant for d. Under the virtual clock
+	// this costs no wall time: the participant blocks and the clock
+	// advances. The caller must not hold any lock another participant can
+	// contend on (charge such delays with Charge instead).
+	Sleep(d time.Duration)
+	// Charge accounts d of busy CPU time to the calling participant: under
+	// the virtual clock, simulated time advances by d immediately, without
+	// blocking and without letting any other participant run. Deadlines
+	// that d skips over fire late, exactly like timers starved by a busy
+	// wall-clock loop. On Wall it is a plain sleep.
+	Charge(d time.Duration)
+	// NewTimer returns a timer that fires on C after d. Abandoned timers
+	// MUST be stopped: a virtual timer left pending keeps its deadline in
+	// the advance heap and the clock will sit on it.
+	NewTimer(d time.Duration) *Timer
+	// NewTimerPri is NewTimer with an explicit tie-break priority: among
+	// virtual timers sharing a deadline, lower pri fires first, before
+	// creation order breaks the remaining ties. NewTimer uses pri 0.
+	NewTimerPri(d time.Duration, pri int) *Timer
+
+	// AllocRole returns a fresh role identifier for a participant (or a
+	// group of interchangeable participants, like a pool's workers) to use
+	// with Wake/Unwake/Start/AwaitTurn. Roles keep distinguishable
+	// participants from consuming each other's run grants.
+	AllocRole() int
+	// Register adds the calling goroutine to the participant set. The first
+	// registrant on an idle clock becomes the running participant.
+	Register()
+	// Unregister removes the calling goroutine from the participant set and
+	// relinquishes the run token. Call only on teardown paths.
+	Unregister()
+	// Block marks the caller as waiting and releases the run token; the
+	// last participant to block may trigger an advance. Pair with Unblock
+	// (timer waits) or AwaitTurn (channel waits).
+	Block()
+	// Unblock retakes the run token after the caller's own timer fired,
+	// consuming the fire's in-flight wake.
+	Unblock()
+	// UnblockKeep marks the caller runnable when its wait ended with no
+	// in-flight wake addressed to it — the pool-shutdown join, say. It
+	// retakes the run token only if the token is free and no grant is
+	// pending.
+	UnblockKeep()
+	// Wake enqueues a run grant for a participant with the given role.
+	// Call it immediately BEFORE sending that participant its wake signal;
+	// the grant vetoes clock advances until the wakee claims it with Start
+	// or AwaitTurn.
+	Wake(role int)
+	// Unwake revokes the most recent unclaimed grant for role, undoing a
+	// Wake whose wake send turned out to be a no-op (coalesced into an
+	// already-pending token).
+	Unwake(role int)
+	// Start claims a pending grant for role and takes the run token,
+	// blocking until the grant reaches the head of the queue. It is how a
+	// freshly spawned participant (not Block'ed) enters the rotation.
+	Start(role int)
+	// AwaitTurn is Start for a participant that wakes from a Block'ed
+	// channel wait: it additionally clears the caller's blocked mark.
+	AwaitTurn(role int)
+}
+
+// Timer is the clock-agnostic analogue of time.Timer.
+type Timer struct {
+	// C delivers the fire time once.
+	C <-chan time.Time
+
+	wall *time.Timer // wall mode
+	v    *Virtual    // virtual mode
+	vt   *vtimer
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+// Unlike time.Timer.Stop it also makes it safe to abandon the timer in
+// virtual mode: the deadline leaves the advance heap.
+func (t *Timer) Stop() bool {
+	if t.wall != nil {
+		return t.wall.Stop()
+	}
+	return t.v.stopTimer(t.vt)
+}
+
+// ---------------------------------------------------------------------------
+// Wall
+
+// Wall delegates to the time package. Participant methods are no-ops: real
+// time advances on its own and goroutines run preemptively.
+type Wall struct{}
+
+func (Wall) Now() time.Time                  { return time.Now() }
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+func (Wall) Until(t time.Time) time.Duration { return time.Until(t) }
+func (Wall) Sleep(d time.Duration)           { time.Sleep(d) }
+func (Wall) Charge(d time.Duration)          { time.Sleep(d) }
+func (Wall) AllocRole() int                  { return 0 }
+func (Wall) Register()                       {}
+func (Wall) Unregister()                     {}
+func (Wall) Block()                          {}
+func (Wall) Unblock()                        {}
+func (Wall) UnblockKeep()                    {}
+func (Wall) Wake(int)                        {}
+func (Wall) Unwake(int)                      {}
+func (Wall) Start(int)                       {}
+func (Wall) AwaitTurn(int)                   {}
+
+func (Wall) NewTimer(d time.Duration) *Timer {
+	wt := time.NewTimer(d)
+	return &Timer{C: wt.C, wall: wt}
+}
+
+func (w Wall) NewTimerPri(d time.Duration, _ int) *Timer { return w.NewTimer(d) }
+
+// ---------------------------------------------------------------------------
+// Virtual
+
+// epoch is the virtual clock's fixed origin. Any constant works; a real
+// date keeps formatted timestamps legible in traces.
+var epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Virtual is a deterministic discrete-event clock. The zero value is not
+// usable; call NewVirtual.
+type Virtual struct {
+	mu   sync.Mutex
+	turn *sync.Cond // broadcast whenever the token or grant queue changes
+	now  time.Time
+
+	participants int
+	blocked      int
+	// running is the run token: true while some participant executes. The
+	// clock never advances, and no grant is claimable, while it is held.
+	running bool
+	// runq is the FIFO of issued-but-unclaimed run grants, by role. A
+	// non-empty queue vetoes advances: a wake is in flight.
+	runq []int
+	// fire counts a timer fire whose waiter has not yet retaken the token
+	// via Unblock. Like a grant, it vetoes advances.
+	fire int
+
+	timers vheap
+	seq    uint64
+	roles  int
+}
+
+// NewVirtual returns a virtual clock at the epoch with no participants.
+func NewVirtual() *Virtual {
+	v := &Virtual{now: epoch}
+	v.turn = sync.NewCond(&v.mu)
+	return v
+}
+
+type vtimer struct {
+	deadline time.Time
+	pri      int
+	seq      uint64
+	ch       chan time.Time
+	index    int // heap index, -1 when fired or stopped
+}
+
+type vheap []*vtimer
+
+func (h vheap) Len() int { return len(h) }
+func (h vheap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vheap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *vheap) Push(x any) {
+	t := x.(*vtimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *vheap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// Sleep blocks the participant on a one-shot timer. A non-positive d still
+// yields through the clock (deadline == now fires on the next advance),
+// which keeps zero-delay sleeps ordered with everything else.
+func (v *Virtual) Sleep(d time.Duration) {
+	t := v.NewTimer(d)
+	v.Block()
+	<-t.C
+	v.Unblock()
+}
+
+// Charge advances simulated time by d on the spot. The caller keeps the run
+// token throughout: busy CPU excludes everyone else by definition. Deadlines
+// that the jump passes over become overdue and fire, in order, on the next
+// ordinary advances.
+func (v *Virtual) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	v.assertRunning("Charge")
+	v.now = v.now.Add(d)
+	v.mu.Unlock()
+}
+
+func (v *Virtual) NewTimer(d time.Duration) *Timer { return v.NewTimerPri(d, 0) }
+
+func (v *Virtual) NewTimerPri(d time.Duration, pri int) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	v.assertRunning("NewTimer")
+	vt := &vtimer{
+		deadline: v.now.Add(d),
+		pri:      pri,
+		seq:      v.seq,
+		ch:       make(chan time.Time, 1),
+	}
+	v.seq++
+	heap.Push(&v.timers, vt)
+	v.mu.Unlock()
+	return &Timer{C: vt.ch, v: v, vt: vt}
+}
+
+func (v *Virtual) stopTimer(vt *vtimer) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if vt.index < 0 {
+		return false
+	}
+	heap.Remove(&v.timers, vt.index)
+	return true
+}
+
+func (v *Virtual) AllocRole() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.roles++
+	return v.roles
+}
+
+// Register adds a participant. The first registrant on an idle clock — in
+// practice the goroutine constructing the runtime, which goes on to become
+// the event loop — takes the run token; later registrants (spawned workers,
+// the delivery engine) enter through their spawn grants via Start.
+func (v *Virtual) Register() {
+	v.mu.Lock()
+	v.participants++
+	if !v.running && v.fire == 0 && len(v.runq) == 0 {
+		v.running = true
+	}
+	v.mu.Unlock()
+}
+
+// Unregister removes a participant on its teardown path, relinquishing the
+// run token. The remaining blocked participants may now satisfy the advance
+// condition, so it re-checks.
+func (v *Virtual) Unregister() {
+	v.mu.Lock()
+	v.participants--
+	v.running = false
+	v.turn.Broadcast()
+	v.maybeAdvance()
+	v.mu.Unlock()
+}
+
+func (v *Virtual) Block() {
+	v.mu.Lock()
+	v.assertRunning("Block")
+	v.blocked++
+	v.running = false
+	if len(v.runq) > 0 {
+		// The head grant's wakee can run now; tell any waiter to re-check.
+		v.turn.Broadcast()
+	} else {
+		v.maybeAdvance()
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) Unblock() {
+	v.mu.Lock()
+	v.blocked--
+	if v.fire > 0 {
+		v.fire--
+	}
+	v.running = true
+	v.mu.Unlock()
+}
+
+func (v *Virtual) UnblockKeep() {
+	v.mu.Lock()
+	v.blocked--
+	if !v.running && v.fire == 0 && len(v.runq) == 0 {
+		v.running = true
+	} else {
+		v.maybeAdvance()
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) Wake(role int) {
+	v.mu.Lock()
+	v.assertRunning("Wake")
+	v.runq = append(v.runq, role)
+	v.mu.Unlock()
+}
+
+func (v *Virtual) Unwake(role int) {
+	v.mu.Lock()
+	for i := len(v.runq) - 1; i >= 0; i-- {
+		if v.runq[i] == role {
+			v.runq = append(v.runq[:i], v.runq[i+1:]...)
+			break
+		}
+	}
+	if len(v.runq) > 0 {
+		v.turn.Broadcast() // the head may have changed
+	} else {
+		v.maybeAdvance()
+	}
+	v.mu.Unlock()
+}
+
+func (v *Virtual) Start(role int) {
+	v.mu.Lock()
+	v.claimTurn(role)
+	v.mu.Unlock()
+}
+
+func (v *Virtual) AwaitTurn(role int) {
+	v.mu.Lock()
+	v.claimTurn(role)
+	v.blocked--
+	v.mu.Unlock()
+}
+
+// claimTurn waits until the head grant is for role and the token is free,
+// then consumes both. Caller holds mu.
+func (v *Virtual) claimTurn(role int) {
+	for !(len(v.runq) > 0 && v.runq[0] == role && !v.running && v.fire == 0) {
+		v.turn.Wait()
+	}
+	v.runq = v.runq[1:]
+	v.running = true
+}
+
+// LockBlocking acquires l, counting a contended wait as blocked on clk.
+// Under the full run-token protocol a contended lock cannot happen — the
+// holder would have to be running, and then the caller could not be — but
+// the fallback keeps degraded paths (teardown, tests driving the clock
+// directly) live rather than wedged. The uncontended fast path never touches
+// the participant accounting.
+func LockBlocking(clk Clock, l sync.Locker) {
+	if _, wall := clk.(Wall); wall {
+		l.Lock()
+		return
+	}
+	if m, ok := l.(*sync.Mutex); ok {
+		if m.TryLock() {
+			return
+		}
+		clk.Block()
+		m.Lock()
+		clk.UnblockKeep()
+		return
+	}
+	l.Lock()
+}
+
+// maybeAdvance advances virtual time to the earliest pending deadline and
+// fires exactly that one timer, iff every participant is blocked, the run
+// token is free, and no wake — grant or previous fire — is in flight.
+// Firing counts as an in-flight wake (fire++), so a second advance cannot
+// happen until the woken participant retakes the token: equal-deadline
+// timers fire serially in a fixed order. Caller holds mu.
+func (v *Virtual) maybeAdvance() {
+	if v.participants <= 0 || v.blocked < v.participants ||
+		v.running || v.fire > 0 || len(v.runq) > 0 {
+		return
+	}
+	if len(v.timers) == 0 {
+		return
+	}
+	vt := heap.Pop(&v.timers).(*vtimer)
+	if vt.deadline.After(v.now) {
+		v.now = vt.deadline
+	}
+	v.fire++
+	vt.ch <- v.now // cap 1, never filled twice: fires at most once
+}

@@ -1,0 +1,268 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWallDelegates sanity-checks the Wall pass-through.
+func TestWallDelegates(t *testing.T) {
+	var c Clock = Wall{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) < time.Millisecond {
+		t.Fatalf("Wall.Sleep(1ms) advanced only %v", c.Since(t0))
+	}
+	tm := c.NewTimer(time.Microsecond)
+	select {
+	case <-tm.C:
+	case <-time.After(time.Second):
+		t.Fatal("Wall timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired wall timer reported pending")
+	}
+}
+
+// TestVirtualSleepAdvances: a lone participant sleeping jumps time forward
+// with no wall delay.
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual()
+	v.Register()
+	defer v.Unregister()
+	t0 := v.Now()
+	wall0 := time.Now()
+	v.Sleep(5 * time.Second)
+	if got := v.Since(t0); got != 5*time.Second {
+		t.Fatalf("virtual time advanced %v, want 5s", got)
+	}
+	if w := time.Since(wall0); w > time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", w)
+	}
+}
+
+// TestVirtualTimerOrdering: timers fire in deadline order, ties in creation
+// order, one per advance.
+func TestVirtualTimerOrdering(t *testing.T) {
+	v := NewVirtual()
+	v.Register()
+	defer v.Unregister()
+
+	a := v.NewTimer(20 * time.Millisecond)
+	b := v.NewTimer(10 * time.Millisecond)
+	c := v.NewTimer(10 * time.Millisecond) // same deadline as b, later seq
+
+	var order []string
+	for i := 0; i < 3; i++ {
+		v.Block()
+		select {
+		case <-a.C:
+			order = append(order, "a")
+		case <-b.C:
+			order = append(order, "b")
+		case <-c.C:
+			order = append(order, "c")
+		}
+		v.Unblock()
+	}
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+	if v.Since(epoch) != 20*time.Millisecond {
+		t.Fatalf("final virtual time %v, want 20ms past epoch", v.Since(epoch))
+	}
+}
+
+// TestVirtualStopRemovesDeadline: an abandoned-but-stopped timer must not
+// block the advance of later deadlines or wedge the clock.
+func TestVirtualStopRemovesDeadline(t *testing.T) {
+	v := NewVirtual()
+	v.Register()
+	defer v.Unregister()
+
+	early := v.NewTimer(time.Millisecond)
+	if !early.Stop() {
+		t.Fatal("Stop on pending virtual timer reported not pending")
+	}
+	v.Sleep(time.Second)
+	if got := v.Since(epoch); got != time.Second {
+		t.Fatalf("virtual time %v, want 1s (stopped timer must not fire first)", got)
+	}
+}
+
+// TestVirtualGrantVeto: an unclaimed run grant must hold the clock even when
+// all participants are blocked.
+func TestVirtualGrantVeto(t *testing.T) {
+	v := NewVirtual()
+	v.Register() // lone participant; Register hands us the run token
+	role := v.AllocRole()
+	tm := v.NewTimer(time.Hour)
+
+	v.Wake(role) // pretend a wake is in flight
+	fired := make(chan struct{})
+	go func() {
+		v.Block()
+		<-tm.C
+		v.Unblock()
+		close(fired)
+	}()
+	select {
+	case <-fired:
+		t.Fatal("clock advanced past an unclaimed run grant")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Claiming the grant (as the wakee would) and blocking again releases
+	// the clock.
+	v.AwaitTurn(role)
+	v.Block()
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("clock did not advance after the grant was claimed")
+	}
+	v.Unregister()
+}
+
+// TestVirtualGrantFIFO: run grants are honoured strictly in issue order, no
+// matter which claimant parks first.
+func TestVirtualGrantFIFO(t *testing.T) {
+	v := NewVirtual()
+	v.Register() // we hold the run token while issuing the grants
+	rA, rB := v.AllocRole(), v.AllocRole()
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	v.Wake(rA)
+	v.Wake(rB)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		v.Start(rB)
+		mu.Lock()
+		order = append(order, "B")
+		mu.Unlock()
+		v.Block()
+	}()
+	time.Sleep(20 * time.Millisecond) // let B park on its (later) grant first
+	go func() {
+		defer wg.Done()
+		v.Start(rA)
+		mu.Lock()
+		order = append(order, "A")
+		mu.Unlock()
+		v.Block()
+	}()
+	v.Block() // release the token; the grant queue decides who runs
+	wg.Wait()
+	if order[0] != "A" || order[1] != "B" {
+		t.Fatalf("grant claim order %v, want [A B]", order)
+	}
+}
+
+// TestVirtualTwoParticipants: the clock only advances when ALL participants
+// block, and a worker doing CPU work holds time still.
+func TestVirtualTwoParticipants(t *testing.T) {
+	v := NewVirtual()
+	v.Register() // participant 1: the timer waiter
+	v.Register() // participant 2: the "worker"
+
+	workDone := make(chan struct{})
+	go func() {
+		// Worker runs unblocked for a while; time must not advance.
+		time.Sleep(20 * time.Millisecond)
+		if got := v.Since(epoch); got != 0 {
+			t.Errorf("virtual time advanced to %v while a participant was runnable", got)
+		}
+		close(workDone)
+		v.Block() // park forever
+	}()
+
+	tm := v.NewTimer(time.Millisecond)
+	<-workDone
+	v.Block()
+	select {
+	case <-tm.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired after all participants blocked")
+	}
+	v.Unblock()
+	v.Unregister()
+}
+
+// TestVirtualConcurrentSleepers: N registered sleepers with distinct
+// durations all wake, and time ends at the max. Run with -race.
+func TestVirtualConcurrentSleepers(t *testing.T) {
+	v := NewVirtual()
+	const n = 8
+	var wg sync.WaitGroup
+	// Register everyone before any sleeper can block: the clock then cannot
+	// advance until all n timers exist, so every deadline is epoch-relative.
+	for i := 1; i <= n; i++ {
+		v.Register()
+	}
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			defer v.Unregister()
+			v.Sleep(d)
+		}(time.Duration(i) * 10 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleepers wedged")
+	}
+	if got := v.Since(epoch); got != n*10*time.Millisecond {
+		t.Fatalf("final virtual time %v, want %v", got, n*10*time.Millisecond)
+	}
+}
+
+// TestVirtualUnwake: a grant revoked after a failed coalesced send must
+// leave the clock free to advance.
+func TestVirtualUnwake(t *testing.T) {
+	v := NewVirtual()
+	v.Register()
+	defer v.Unregister()
+	role := v.AllocRole()
+	v.Wake(role)
+	v.Unwake(role)
+	done := make(chan struct{})
+	go func() { v.Sleep(time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("leaked grant wedged the clock")
+	}
+}
+
+// TestVirtualCharge: Charge advances time immediately without blocking, and
+// deadlines it skips over fire late (not never) on the next advance.
+func TestVirtualCharge(t *testing.T) {
+	v := NewVirtual()
+	v.Register()
+	defer v.Unregister()
+	tm := v.NewTimer(time.Millisecond)
+	v.Charge(10 * time.Millisecond)
+	if got := v.Since(epoch); got != 10*time.Millisecond {
+		t.Fatalf("Charge advanced to %v, want 10ms", got)
+	}
+	v.Block()
+	select {
+	case at := <-tm.C:
+		// An overdue timer fires at the current (later) time.
+		if got := at.Sub(epoch); got != 10*time.Millisecond {
+			t.Fatalf("overdue timer fired at %v past epoch, want 10ms", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("overdue timer never fired after Charge")
+	}
+	v.Unblock()
+}
