@@ -13,6 +13,7 @@
 //	fzcampaign -app SIO -trials 200 -checkpoint c.jsonl
 //	fzcampaign -app SIO -trials 200 -checkpoint c.jsonl -resume
 //	fzcampaign -app MGS -trials 50 -metrics m.jsonl   # per-trial metrics stream
+//	fzcampaign -app MGS -trials 200 -oracle -oracle-out viol.jsonl
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"nodefz/internal/bugs"
 	"nodefz/internal/campaign"
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 )
 
 func main() {
@@ -46,6 +48,8 @@ func main() {
 		metOut     = flag.String("metrics", "", "append one JSONL metrics snapshot per trial to FILE")
 		quiet      = flag.Bool("q", false, "suppress per-trial progress lines")
 		vtime      = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
+		orc        = flag.Bool("oracle", false, "attach the happens-before oracle to each trial (violation counts journaled, reward signal)")
+		orcOut     = flag.String("oracle-out", "", "write oracle violation JSONL to FILE (implies -oracle)")
 	)
 	flag.Parse()
 
@@ -77,6 +81,18 @@ func main() {
 		metW = metrics.NewJSONLWriter(f)
 	}
 
+	var repW *oracle.ReportWriter
+	if *orcOut != "" {
+		*orc = true
+		f, err := os.Create(*orcOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		repW = oracle.NewReportWriter(f)
+	}
+
 	cfg := campaign.Config{
 		App:              app,
 		Fixed:            *fixed,
@@ -93,6 +109,8 @@ func main() {
 		Resume:           *resume,
 		Metrics:          metW,
 		VirtualTime:      *vtime,
+		Oracle:           *orc,
+		OracleOut:        repW,
 	}
 	if !*quiet {
 		cfg.Progress = func(e campaign.TrialEntry) {
@@ -103,6 +121,9 @@ func main() {
 			mark := ""
 			if e.Admitted {
 				mark = " +corpus"
+			}
+			if e.Violations > 0 {
+				mark += fmt.Sprintf(" oracle=%d", e.Violations)
 			}
 			fmt.Printf("trial %4d seed %-20d arm=%-12s novelty=%.3f %s%s\n",
 				e.Trial, e.Seed, e.ArmName, e.Novelty, status, mark)
@@ -147,6 +168,13 @@ func main() {
 	}
 
 	fmt.Printf("watermark %d/%d\n", res.Watermark, res.Trials)
+	if repW != nil {
+		if err := repW.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d oracle violation line(s) written to %s\n", repW.Count(), *orcOut)
+	}
 	if metW != nil {
 		if err := metW.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, err)

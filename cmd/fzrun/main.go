@@ -12,6 +12,8 @@
 //	fzrun -bug NES -mode nodeFZ -record nes.trace    # save scheduler decisions
 //	fzrun -bug NES -mode nodeFZ -replay nes.trace    # bias a run toward them
 //	fzrun -bug SIO -mode nodeFZ -trials 5 -metrics out.jsonl   # per-trial metrics
+//	fzrun -bug SIO -mode nodeFZ -trials 20 -oracle             # HB violation reports
+//	fzrun -bug KUE -mode nodeFZ -trials 50 -oracle-out viol.jsonl
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"nodefz/internal/core"
 	"nodefz/internal/harness"
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 )
 
@@ -41,6 +44,8 @@ func main() {
 		diff   = flag.Bool("diff", false, "print the type-schedule diff between consecutive trials")
 		metOut = flag.String("metrics", "", "append one JSONL metrics snapshot per trial to FILE")
 		vtime  = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
+		orc    = flag.Bool("oracle", false, "attach the happens-before oracle to each trial and report violations")
+		orcOut = flag.String("oracle-out", "", "write oracle violation JSONL to FILE (default stdout; implies -oracle)")
 	)
 	flag.Parse()
 	bugs.SetVirtualTime(*vtime)
@@ -87,6 +92,20 @@ func main() {
 		}
 	}
 
+	var repW *oracle.ReportWriter
+	if *orcOut != "" {
+		*orc = true
+		f, err := os.Create(*orcOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		repW = oracle.NewReportWriter(f)
+	} else if *orc {
+		repW = oracle.NewReportWriter(os.Stdout)
+	}
+
 	var metW *metrics.JSONLWriter
 	if *metOut != "" {
 		f, err := os.Create(*metOut)
@@ -99,6 +118,7 @@ func main() {
 	}
 
 	manifested := 0
+	totalViolations := 0
 	var prevSchedule []string
 	for i := 0; i < *trials; i++ {
 		s := *seed + int64(i)
@@ -112,6 +132,11 @@ func main() {
 			scheduler = recording
 		}
 		cfg := bugs.RunConfig{Seed: s, Scheduler: scheduler, Clock: bugs.TrialClock()}
+		var tracker *oracle.Tracker
+		if *orc {
+			tracker = oracle.New()
+			cfg.Oracle = tracker
+		}
 		var rec *sched.Recorder
 		if *trace || *diff || metW != nil {
 			rec = sched.NewRecorder()
@@ -136,7 +161,14 @@ func main() {
 		if out.Note != "" {
 			fmt.Printf(" — %s", out.Note)
 		}
+		var reps []oracle.Report
+		if *orc {
+			reps = tracker.Reports()
+			totalViolations += len(reps)
+			fmt.Printf(" [oracle: %d violation(s)]", len(reps))
+		}
 		fmt.Println()
+		repW.WriteTrial(app.Abbr, m.String(), i, s, reps)
 		if rec != nil && *trace {
 			entries := rec.Entries()
 			if len(entries) > 0 {
@@ -179,7 +211,20 @@ func main() {
 		}
 		fmt.Printf("%d metrics snapshot(s) written to %s\n", metW.Count(), *metOut)
 	}
-	fmt.Printf("\n%s %s under %s: manifested %d/%d\n", app.Abbr, variant(*fixed), m, manifested, *trials)
+	if *orc {
+		if err := repW.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *orcOut != "" {
+			fmt.Printf("%d oracle violation line(s) written to %s\n", repW.Count(), *orcOut)
+		}
+	}
+	fmt.Printf("\n%s %s under %s: manifested %d/%d", app.Abbr, variant(*fixed), m, manifested, *trials)
+	if *orc {
+		fmt.Printf(", oracle violations %d", totalViolations)
+	}
+	fmt.Println()
 }
 
 func variant(fixed bool) string {

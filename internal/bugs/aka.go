@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/simfs"
 	"nodefz/internal/simnet"
 )
@@ -89,10 +90,16 @@ func akaRun(cfg RunConfig, fixed bool) Outcome {
 			// logs the expiry asynchronously and the socket only leaves the
 			// pool in the 'close' step at the end of that chain — the delay
 			// between the 'timeout' and 'close' events the bug reporter
-			// could not artificially expand (§2.3).
+			// could not artificially expand (§2.3). The oracle models that
+			// window as an intended-atomic span on the pool: a checkout
+			// landing inside it is exactly the §3 atomicity violation. The
+			// patched handler completes the transition in one callback, so
+			// there is no span to violate.
+			sp := cfg.Oracle.BeginSpan("aka:pool")
 			logfsa.Append("/agent.log", []byte("socket timeout\n"), func(error) {
 				removeFree(s)
 				s.conn.Close()
+				cfg.Oracle.EndSpan(sp)
 			})
 		})
 	}
@@ -114,6 +121,7 @@ func akaRun(cfg RunConfig, fixed bool) Outcome {
 			})
 			_ = s.conn.Send([]byte(tag))
 		}
+		cfg.Oracle.Access("aka:pool", oracle.Read)
 		if len(free) > 0 {
 			s := free[0]
 			free = free[1:]

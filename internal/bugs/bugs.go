@@ -25,6 +25,7 @@ import (
 	"nodefz/internal/eventloop"
 	"nodefz/internal/lag"
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 	"nodefz/internal/simfs"
 	"nodefz/internal/simnet"
@@ -55,6 +56,12 @@ type RunConfig struct {
 	// injected delays — in simulated time so the trial finishes at CPU
 	// speed.
 	Clock vclock.Clock
+	// Oracle, when non-nil, is the trial's happens-before tracker: the
+	// loop, pool, and network report callback causality into it, and the
+	// corpus apps tag their racy shared state, so violations are detected
+	// without the app's own assertion firing. Nil leaves every hook a
+	// no-op.
+	Oracle *oracle.Tracker
 }
 
 // virtualTime is the process-wide default clock mode, set by the CLIs'
@@ -92,6 +99,7 @@ func (cfg RunConfig) NewLoop() *eventloop.Loop {
 		Recorder:  cfg.Recorder,
 		Metrics:   cfg.Metrics,
 		Clock:     cfg.Clock,
+		Probe:     cfg.Oracle,
 	})
 	if cfg.Metrics != nil && cfg.LagProbeEvery > 0 {
 		m := lag.New(l, cfg.LagProbeEvery, 0).Attach(cfg.Metrics)
@@ -112,6 +120,7 @@ func (cfg RunConfig) NewNet() *simnet.Network {
 		MinLatency: 1 * time.Millisecond,
 		MaxLatency: 2500 * time.Microsecond,
 		Clock:      cfg.Clock,
+		Probe:      cfg.Oracle,
 	})
 }
 

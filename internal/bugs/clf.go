@@ -3,6 +3,7 @@ package bugs
 import (
 	"time"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/simfs"
 )
 
@@ -33,6 +34,7 @@ func clfApp() *App {
 
 type clfLogger struct {
 	fsa     *simfs.Async
+	tr      *oracle.Tracker
 	path    string
 	created bool // guard for lazy file creation — the racy variable
 	queue   []string
@@ -42,15 +44,18 @@ type clfLogger struct {
 
 func (lg *clfLogger) log(entry string) {
 	lg.queue = append(lg.queue, entry)
+	lg.tr.Access("clf:created", oracle.Read)
 	if !lg.created {
 		if lg.fixed {
 			// Patched: guard read and write happen together, synchronously,
 			// before the asynchronous create is issued.
+			lg.tr.Access("clf:created", oracle.Write)
 			lg.created = true
 			lg.fsa.Create(lg.path, func(err error) { lg.flush() })
 			return
 		}
 		lg.fsa.Create(lg.path, func(err error) {
+			lg.tr.Access("clf:created", oracle.Write)
 			lg.created = true // BUG: set only when the create completes
 			lg.flush()
 		})
@@ -60,6 +65,7 @@ func (lg *clfLogger) log(entry string) {
 }
 
 func (lg *clfLogger) flush() {
+	lg.tr.Access("clf:created", oracle.Read)
 	if !lg.created && !lg.fixed {
 		return
 	}
@@ -77,6 +83,7 @@ func clfRun(cfg RunConfig, fixed bool) Outcome {
 	fs := simfs.New()
 	lg := &clfLogger{
 		fsa:   simfs.Bind(l, fs, 4*time.Millisecond, cfg.Seed),
+		tr:    cfg.Oracle,
 		path:  "/app.log",
 		fixed: fixed,
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nodefz/internal/kvstore"
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -69,10 +70,19 @@ func fpsRun(cfg RunConfig, fixed bool) Outcome {
 	handle := func(c *simnet.Conn, name string) {
 		r := &fpsRequest{conn: c, name: name}
 		requests = append(requests, r)
+		// Oracle: the module variable is the shared cell. The patch makes
+		// each chain carry its own request, so the variable is dead code in
+		// the fixed variant — no reliance, no tag.
+		if !fixed {
+			cfg.Oracle.Access("fps:current", oracle.Write)
+		}
 		current = r
 		// Two-step asynchronous validation, as in the proxy: policy lookup,
 		// then role lookup, then the verdict is sent.
 		kv.Get("policy:"+name, func(string, bool, error) {
+			if !fixed {
+				cfg.Oracle.Access("fps:current", oracle.Read)
+			}
 			req := current // BUG: should be the closed-over r
 			if fixed {
 				req = r

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nodefz/internal/kvstore"
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -98,6 +99,9 @@ func fpsNovelRun(cfg RunConfig, fixed bool) Outcome {
 				return
 			}
 			asserted = true
+			// The assertion reads the response counter and relies on all
+			// requests having completed.
+			cfg.Oracle.Access("fpsn:responses", oracle.Read)
 			if responses < n {
 				out.Manifested = true
 				out.Note = fmt.Sprintf(
@@ -118,8 +122,14 @@ func fpsNovelRun(cfg RunConfig, fixed bool) Outcome {
 				}
 				conns = append(conns, conn)
 				conn.OnData(func([]byte) {
+					// Increments commute — an atomic access.
+					cfg.Oracle.Access("fpsn:responses", oracle.Atomic)
 					responses++
 					if fixed {
+						// The PR's counter is a join point, like the MGS
+						// gate: the asserting callback is ordered after
+						// every other response.
+						cfg.Oracle.Sync("fpsn:remaining")
 						remaining--
 						if remaining == 0 {
 							assertAllDone()

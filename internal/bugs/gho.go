@@ -46,6 +46,12 @@ func ghoRun(cfg RunConfig, fixed bool) Outcome {
 	if err != nil {
 		return Outcome{Note: "setup: " + err.Error()}
 	}
+	// The race is check-then-insert on the username row; the account
+	// counter is also tagged (Incr is atomic, but finish()'s verification
+	// read must be ordered behind both signups — see the Sync below).
+	db.SetProbe(cfg.Oracle, func(key string) bool {
+		return key == "user:bob" || key == "user-count"
+	})
 	// The duplicate-username fetch scans the accounts table; writes are
 	// point operations.
 	db.SetWorkModel(func(op string, args []string) time.Duration {
@@ -116,6 +122,10 @@ func ghoRun(cfg RunConfig, fixed bool) Outcome {
 	replies := 0
 	signup := func(conn *simnet.Conn) {
 		conn.OnData(func([]byte) {
+			// The replies counter is a join point the happens-before
+			// tracker cannot see through on its own: the second reply
+			// (whichever it is) proceeds on behalf of both signup chains.
+			cfg.Oracle.Sync("gho:replies")
 			replies++
 			conn.Close()
 			if replies == 2 {

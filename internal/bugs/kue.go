@@ -43,6 +43,10 @@ func kueRun(cfg RunConfig, fixed bool) Outcome {
 	if err != nil {
 		return Outcome{Note: "setup: " + err.Error()}
 	}
+	// The race is on the job's state key: update's 'failed' and delayed's
+	// 'delayed' are both plain writes. The delay-queue key sees a single
+	// write and stays untagged.
+	db.SetProbe(cfg.Oracle, func(key string) bool { return key == "job:42:state" })
 	// The driver uses a small connection pool, so two commands issued
 	// back-to-back can be processed by the store in either order.
 	kvstore.NewClient(l, net, "redis", 2, func(kv *kvstore.Client, err error) {

@@ -48,6 +48,31 @@ func kueNovelRun(cfg RunConfig, fixed bool) Outcome {
 
 	const lockKey = "q:lock:jobs"
 
+	// Oracle: tag the queue's lock and test 1's job row. In the buggy
+	// variant the eager teardown's fixture cleanup travels a fresh admin
+	// connection, so it is unordered with whatever the job chain still has
+	// in flight — the observable half of the §5.2.2 hazard (the other
+	// half, the dropped lock release, never executes when the bug bites).
+	db.SetProbe(cfg.Oracle, func(key string) bool {
+		return key == lockKey || key == "job:7:state"
+	})
+
+	// cleanup wipes test 1's fixture state over its own connection and
+	// then hands control to the next test, as test-suite teardown blocks
+	// commonly do.
+	cleanup := func(next func()) {
+		kvstore.NewClient(l, net, "redis", 1, func(admin *kvstore.Client, err error) {
+			if err != nil {
+				next()
+				return
+			}
+			admin.Del("job:7:state", func(error) {
+				admin.Close()
+				next()
+			})
+		})
+	}
+
 	// --- test 2: acquire the lock, with retries, then clean up ---
 	test2 := func() {
 		kvstore.NewClient(l, net, "redis", 1, func(kv *kvstore.Client, err error) {
@@ -108,7 +133,7 @@ func kueNovelRun(cfg RunConfig, fixed bool) Outcome {
 					func() bool { return released },
 					func(bool) {
 						kv.Close()
-						test2()
+						cleanup(test2)
 					})
 				return
 			}
@@ -117,7 +142,7 @@ func kueNovelRun(cfg RunConfig, fixed bool) Outcome {
 			// by then, the lock stays taken.
 			l.SetTimeoutNamed("teardown", 8*time.Millisecond, func() {
 				kv.Close()
-				test2()
+				cleanup(test2)
 			})
 		})
 	})

@@ -6,6 +6,7 @@ import (
 
 	"nodefz/internal/asyncutil"
 	"nodefz/internal/kvstore"
+	"nodefz/internal/oracle"
 )
 
 // mgsApp models mongoose bug #2992 (Table 2, row 12 and Figure 4): a
@@ -83,6 +84,11 @@ func mgsRun(cfg RunConfig, fixed bool) Outcome {
 				return
 			}
 			resolved = true
+			// Resolution publishes the whole document: it relies on every
+			// reference being populated, so it reads all n field cells.
+			for i := 0; i < n; i++ {
+				cfg.Oracle.Access(fmt.Sprintf("mgs:doc:ref%d", i), oracle.Read)
+			}
 			resolvedWith = len(populated)
 		}
 
@@ -92,8 +98,14 @@ func mgsRun(cfg RunConfig, fixed bool) Outcome {
 				field := fmt.Sprintf("ref%d", i)
 				isLast := i == n-1
 				kv.HGet("doc", field, func(val string, ok bool, err error) {
+					cfg.Oracle.Access("mgs:doc:"+field, oracle.Write)
 					populated[field] = val
 					if fixed {
+						// The remaining-counter is a join point: each
+						// decrement synchronizes with the previous ones, so
+						// the final callback (whichever it is) is ordered
+						// after every populate write.
+						cfg.Oracle.Sync("mgs:gate")
 						if gate.Done() {
 							resolve()
 						}
@@ -117,8 +129,16 @@ func mgsRun(cfg RunConfig, fixed bool) Outcome {
 							"promise resolved with %d/%d references populated",
 							resolvedWith, n)
 					}
-					kv.Close()
-					db.Close()
+					// Let the still-outstanding finds complete before tearing
+					// down, as they would in the real application — an early
+					// resolution does not cancel them (and their late writes
+					// are what the oracle races against the resolution read).
+					WaitUntil(l, 2*time.Millisecond, 2*time.Millisecond, 25,
+						func() bool { return kv.PendingCount() == 0 },
+						func(bool) {
+							kv.Close()
+							db.Close()
+						})
 				})
 		})
 	})

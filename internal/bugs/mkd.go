@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/simfs"
 )
 
@@ -41,18 +42,26 @@ func mkdParent(p string) string {
 }
 
 // mkdirp creates p and any missing parents, like `mkdir -p`.
-func mkdirp(fsa *simfs.Async, fixed bool, p string, cb func(error)) {
+//
+// Oracle tagging: a directory's existence is the shared cell "fsdir:<p>".
+// A successful mkdir writes it. The BUGGY error path reads it: treating
+// EEXIST as failure relies on "nobody else created this directory", which
+// is exactly the assumption a racing sibling chain breaks. The patched
+// path stat-verifies the directory instead — it tolerates any creation
+// order, so the reliance (and the tag) is gone.
+func mkdirp(fsa *simfs.Async, tr *oracle.Tracker, fixed bool, p string, cb func(error)) {
 	fsa.Mkdir(p, func(err error) {
 		switch {
 		case err == nil:
+			tr.Access("fsdir:"+p, oracle.Write)
 			cb(nil)
 		case simfs.IsErrno(err, simfs.ENOENT):
-			mkdirp(fsa, fixed, mkdParent(p), func(err2 error) {
+			mkdirp(fsa, tr, fixed, mkdParent(p), func(err2 error) {
 				if err2 != nil {
 					cb(err2)
 					return
 				}
-				mkdirp(fsa, fixed, p, cb)
+				mkdirp(fsa, tr, fixed, p, cb)
 			})
 		case simfs.IsErrno(err, simfs.EEXIST) && fixed:
 			// Patched: EEXIST means someone else (perhaps a concurrent
@@ -67,6 +76,9 @@ func mkdirp(fsa *simfs.Async, fixed bool, p string, cb func(error)) {
 		default:
 			// BUG: EEXIST from a racing sibling chain propagates as a
 			// failure and the mkdirp aborts mid-way.
+			if simfs.IsErrno(err, simfs.EEXIST) {
+				tr.Access("fsdir:"+p, oracle.Read)
+			}
 			cb(err)
 		}
 	})
@@ -92,7 +104,7 @@ func mkdRun(cfg RunConfig, fixed bool) Outcome {
 		{path: "/data/beta"},
 	}
 	start := func(r *result) {
-		mkdirp(fsa, fixed, r.path, func(err error) {
+		mkdirp(fsa, cfg.Oracle, fixed, r.path, func(err error) {
 			r.err = err
 			r.done = true
 		})

@@ -3,6 +3,7 @@ package bugs
 import (
 	"time"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -50,10 +51,17 @@ func nesRun(cfg RunConfig, fixed bool) Outcome {
 		// leaves a window in which a queued message still dispatches
 		// against the nulled reference.
 		l.SetTimeoutNamed("idle-timeout", idleTimeout, func() {
+			cfg.Oracle.Access("nes:sock", oracle.Write)
 			sock.ws = nil
 			l.SetImmediate(func() { c.Close() })
 		})
 		c.OnData(func(msg []byte) {
+			// Oracle: the buggy handler dereferences the reference and so
+			// relies on the timer not having nulled it; the patched handler
+			// null-checks — a tolerated read, hence untagged.
+			if !fixed {
+				cfg.Oracle.Access("nes:sock", oracle.Read)
+			}
 			if sock.ws == nil {
 				if fixed {
 					// Patched: check not null before use; the late message

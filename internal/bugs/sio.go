@@ -3,6 +3,7 @@ package bugs
 import (
 	"time"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -94,7 +95,10 @@ func sioRun(cfg RunConfig, fixed bool) Outcome {
 		s := &sioSocket{path: path}
 		if fixed {
 			// Patched (Figure 2): register in the initial callback, not in
-			// the 'connect' callback.
+			// the 'connect' callback. The append runs in the caller's unit,
+			// which happens-before every callback of this trial, so the
+			// oracle sees it ordered with destroy.
+			cfg.Oracle.Access("sio:sockets", oracle.Write)
 			m.sockets = append(m.sockets, s)
 		}
 		net.Dial(l, "sio", func(conn *simnet.Conn, err error) {
@@ -117,6 +121,7 @@ func sioRun(cfg RunConfig, fixed bool) Outcome {
 				}
 				// The 'connect' event of Figure 2 (lines 8-11).
 				s.connected = true
+				cfg.Oracle.Access("sio:closed", oracle.Read)
 				if m.closed {
 					// The manager was destroyed while we were connecting:
 					// this request will never be serviced.
@@ -126,6 +131,7 @@ func sioRun(cfg RunConfig, fixed bool) Outcome {
 					return
 				}
 				if !fixed {
+					cfg.Oracle.Access("sio:sockets", oracle.Write)
 					m.sockets = append(m.sockets, s)
 				}
 				onReady(s)
@@ -137,11 +143,13 @@ func sioRun(cfg RunConfig, fixed bool) Outcome {
 
 	// destroy is Figure 2 lines 15-20.
 	destroy := func(s *sioSocket) {
+		cfg.Oracle.Access("sio:sockets", oracle.Write)
 		m.remove(s)
 		if s.conn != nil {
 			s.conn.Close()
 		}
 		if len(m.sockets) == 0 {
+			cfg.Oracle.Access("sio:closed", oracle.Write)
 			m.closed = true
 		}
 	}
@@ -168,6 +176,9 @@ func sioRun(cfg RunConfig, fixed bool) Outcome {
 	WaitUntil(l, 25*time.Millisecond, 8*time.Millisecond, 10,
 		func() bool { return slowDone || out.Manifested },
 		func(bool) {
+			// Runs in a detector unit: tainted, so this teardown write
+			// never races the application's accesses.
+			cfg.Oracle.Access("sio:sockets", oracle.Write)
 			for _, s := range m.sockets {
 				if s.conn != nil {
 					s.conn.Close()

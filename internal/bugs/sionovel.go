@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -72,6 +73,11 @@ func sioNovelRun(cfg RunConfig, fixed bool) Outcome {
 	var test1Conn *simnet.Conn
 	if !fixed {
 		reconnect = l.SetIntervalNamed("reconnect", 8*time.Millisecond, func() {
+			// Oracle: the leaked timer consults test 1's liveness and acts on
+			// it — it relies on the suite's teardown not having moved on. The
+			// patched variant never creates this timer, so the reliance (and
+			// the tag) exists only in the buggy variant.
+			cfg.Oracle.Access("sion:test1", oracle.Read)
 			if test1Connected {
 				return
 			}
@@ -80,6 +86,7 @@ func sioNovelRun(cfg RunConfig, fixed bool) Outcome {
 				if err != nil {
 					return
 				}
+				cfg.Oracle.Access("sion:test1", oracle.Write)
 				test1Connected = true
 				test1Conn = conn
 				_ = conn.Send([]byte("hello-test1"))
@@ -98,8 +105,11 @@ func sioNovelRun(cfg RunConfig, fixed bool) Outcome {
 		_ = conn.Send([]byte("hello-test1"))
 	})
 	// Test 1 tears down at 15ms: it closes its connection but — the bug —
-	// leaves the reconnect timer running.
+	// leaves the reconnect timer running. (The initial connect above is
+	// test 1's setup, ordered before the suite moves on by construction, so
+	// its write carries no reliance and stays untagged.)
 	l.SetTimeout(15*time.Millisecond, func() {
+		cfg.Oracle.Access("sion:test1", oracle.Write)
 		test1Connected = false
 		if test1Conn != nil {
 			test1Conn.Close()

@@ -9,7 +9,7 @@ import (
 
 // rewardScript is a fixed deterministic reward function for bandit tests.
 func rewardScript(arm, step int) float64 {
-	return math.Abs(math.Sin(float64(arm*31+step*7))) // stable in [0,1]
+	return math.Abs(math.Sin(float64(arm*31 + step*7))) // stable in [0,1]
 }
 
 func TestUCBSelectionDeterministicUnderSeededRNG(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"nodefz/internal/bugs"
 	"nodefz/internal/core"
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 	"nodefz/internal/vclock"
 )
@@ -83,6 +84,15 @@ type Config struct {
 	// trial (the same JSONL stream fzrun/fzbench emit), with Mode set to
 	// "campaign/<arm>".
 	Metrics *metrics.JSONLWriter
+
+	// Oracle attaches a fresh happens-before tracker to every trial. Each
+	// trial's violation count is journaled, and a trial that produces at
+	// least one report earns extra bandit reward — the oracle doubles as a
+	// reward signal for schedules that expose races the detectors miss.
+	Oracle bool
+	// OracleOut, when non-nil (and Oracle is set), receives every violation
+	// as one TrialViolation JSONL line, annotated with trial and seed.
+	OracleOut *oracle.ReportWriter
 
 	// Progress, when non-nil, receives one line per executed trial; the CLI
 	// uses it for streaming output. Called concurrently.
@@ -288,6 +298,11 @@ func Run(cfg Config) (*Result, error) {
 		recording := core.NewRecording(inner)
 		rec := sched.NewRecorder()
 		runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
+		var tracker *oracle.Tracker
+		if cfg.Oracle {
+			tracker = oracle.New()
+			runCfg.Oracle = tracker
+		}
 		var reg *metrics.Registry
 		if cfg.Metrics != nil {
 			reg = metrics.NewRegistry()
@@ -301,11 +316,21 @@ func Run(cfg Config) (*Result, error) {
 
 		types := rec.Types()
 		adm := corpus.Admit(sched.Truncate(types, cfg.ScheduleTruncate))
-		reward := 0.5 * adm.Novelty
-		if out.Manifested {
-			reward += 0.5
+		violations := tracker.Reports()
+		var reward float64
+		if cfg.Oracle {
+			// With the oracle attached the reward splits three ways: novelty,
+			// the detector verdict, and the oracle verdict. An oracle report on
+			// a non-manifesting trial marks a schedule that came close — worth
+			// steering the bandit toward.
+			reward = 0.4*adm.Novelty + 0.2*b2f(len(violations) > 0) + 0.4*b2f(out.Manifested)
+		} else {
+			reward = 0.5*adm.Novelty + 0.5*b2f(out.Manifested)
 		}
 		bandit.Update(arm, reward)
+		if cfg.OracleOut != nil {
+			cfg.OracleOut.WriteTrial(cfg.App.Abbr, "campaign/"+cfg.Arms[arm].Name, i, seed, violations)
+		}
 
 		entry := TrialEntry{
 			Type:       "trial",
@@ -321,6 +346,7 @@ func Run(cfg Config) (*Result, error) {
 			Digest:     sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
 			Reward:     reward,
 			ElapsedMS:  elapsed.Milliseconds(),
+			Violations: len(violations),
 		}
 		if adm.Admitted {
 			entry.Schedule = sched.Truncate(types, cfg.ScheduleTruncate)
@@ -408,6 +434,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// b2f is the reward indicator: 1 for true, 0 for false.
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // watermarkOf computes the contiguous completed prefix of the done-set.

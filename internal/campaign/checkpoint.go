@@ -38,6 +38,9 @@ type TrialEntry struct {
 	Reward     float64  `json:"reward"`
 	ElapsedMS  int64    `json:"elapsed_ms"`
 	Schedule   []string `json:"schedule,omitempty"` // truncated; only when Admitted
+	// Violations counts the trial's oracle reports (0 when the oracle is
+	// off; absent in journals written before the oracle existed).
+	Violations int `json:"violations,omitempty"`
 }
 
 // MinimizedEntry journals one minimized trace.

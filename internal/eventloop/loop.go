@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/pool"
 	"nodefz/internal/vclock"
 )
@@ -56,6 +57,12 @@ type Options struct {
 	// pool's lookahead window in simulated time: a trial that "waits"
 	// 500ms completes in microseconds of CPU.
 	Clock vclock.Clock
+	// Probe is the concurrency-violation oracle (internal/oracle): the
+	// loop brackets every callback as a unit and threads registration
+	// refs through timers, ticks, immediates, pending/close requests, and
+	// pool submissions so the tracker sees the substrate's causality. Nil
+	// (the default) reduces every hook to a nil check.
+	Probe *oracle.Tracker
 }
 
 // The loop phases, indexing the per-phase instruments. "ticks" covers the
@@ -103,6 +110,7 @@ type Loop struct {
 	sched Scheduler
 	rec   Recorder
 	clk   vclock.Clock
+	probe *oracle.Tracker
 	role  int // the loop's virtual-clock wake role
 
 	mu          sync.Mutex
@@ -145,16 +153,19 @@ type Loop struct {
 type tickFn struct {
 	label string
 	fn    func()
+	oref  oracle.Ref
 }
 
 type immediateReq struct {
 	label string
 	fn    func()
+	oref  oracle.Ref
 }
 
 type closeReq struct {
 	label string
 	fn    func()
+	oref  oracle.Ref
 }
 
 // wakeToken is one poll wakeup. vetoed records whether the sender paired it
@@ -191,6 +202,7 @@ func New(opts Options) *Loop {
 		sched:        opts.Scheduler,
 		rec:          opts.Recorder,
 		clk:          opts.Clock,
+		probe:        opts.Probe,
 		wake:         make(chan wakeToken, 1),
 		phaseHandles: make(map[PhaseKind][]*PhaseHandle),
 		reg:          opts.Metrics,
@@ -233,8 +245,9 @@ func New(opts Options) *Loop {
 		Demux:   l.sched.DemuxDone(),
 		Metrics: l.reg,
 		Clock:   l.clk,
-		Post: func(kind, label string, cb func()) {
-			l.post(&Event{Kind: kind, Label: label, CB: cb})
+		Probe:   opts.Probe,
+		Post: func(kind, label string, ref oracle.Ref, cb func()) {
+			l.post(&Event{Kind: kind, Label: label, CB: cb, oref: ref})
 		},
 		Record: func(kind, label string) {
 			atomic.AddInt64(&l.stats.TasksExecuted, 1)
@@ -256,6 +269,21 @@ func (l *Loop) Clock() vclock.Clock { return l.clk }
 // Metrics returns the loop's metrics registry (per-phase counts and
 // durations, worker-pool activity, and whatever substrates add).
 func (l *Loop) Metrics() *metrics.Registry { return l.reg }
+
+// Probe returns the loop's concurrency oracle; nil when the oracle is off.
+// Every oracle method is safe on a nil receiver, so substrates and
+// applications may call l.Probe().Access(...) unconditionally.
+func (l *Loop) Probe() *oracle.Tracker { return l.probe }
+
+// oracleRef captures the currently-executing oracle unit for a
+// registration made from loop context; the zero Ref when the oracle is
+// off.
+func (l *Loop) oracleRef() oracle.Ref {
+	if l.probe == nil {
+		return oracle.Ref{}
+	}
+	return l.probe.Current()
+}
 
 // Stats returns a snapshot of the loop's counters.
 func (l *Loop) Stats() Stats {
@@ -426,6 +454,14 @@ func (l *Loop) post(ev *Event) {
 // execute runs one callback on the loop goroutine: records it, takes the
 // run lock (serialized mode), and drains the NextTick queue afterwards.
 func (l *Loop) execute(kind, label string, cb func()) {
+	l.executeUnit(kind, label, oracle.Ref{}, nil, cb)
+}
+
+// executeUnit is execute bracketing the callback as an oracle unit: ref is
+// the registering unit, key (when non-nil) adds the per-source FIFO edge.
+// It returns a Ref to the executed unit so interval timers can chain one
+// firing to the next; the zero Ref when the oracle is off.
+func (l *Loop) executeUnit(kind, label string, ref oracle.Ref, key any, cb func()) oracle.Ref {
 	atomic.AddInt64(&l.stats.Callbacks, 1)
 	l.phaseCB[l.curPhase].Inc()
 	// Under the virtual clock a contended run lock means a worker holds it,
@@ -436,10 +472,18 @@ func (l *Loop) execute(kind, label string, cb func()) {
 	if l.depth.Add(1) != 1 {
 		panic("eventloop: overlapping loop callbacks")
 	}
+	var tok oracle.Token
+	if l.probe != nil {
+		tok = l.probe.BeginKeyed(kind, label, key, ref)
+	}
 	cb()
+	if l.probe != nil {
+		l.probe.End(tok)
+	}
 	l.depth.Add(-1)
 	l.runLock.Unlock()
 	l.drainTicks()
+	return tok.Ref()
 }
 
 // drainTicks runs queued NextTick callbacks, including ones they enqueue,
@@ -462,7 +506,14 @@ func (l *Loop) drainTicks() {
 		if l.depth.Add(1) != 1 {
 			panic("eventloop: overlapping loop callbacks")
 		}
+		var tok oracle.Token
+		if l.probe != nil {
+			tok = l.probe.Begin(KindTick, t.label, t.oref)
+		}
 		t.fn()
+		if l.probe != nil {
+			l.probe.End(tok)
+		}
 		l.depth.Add(-1)
 		l.runLock.Unlock()
 		l.unref()
@@ -507,6 +558,7 @@ func (l *Loop) addTimer(d, period time.Duration, label string, cb func()) *Timer
 		seq:      l.timerSeq,
 		refed:    true,
 		label:    label,
+		oref:     l.oracleRef(),
 	}
 	heap.Push(&l.timers, t)
 	l.ref()
@@ -566,7 +618,12 @@ func (l *Loop) fireTimer(t *Timer) {
 		}
 	}
 	atomic.AddInt64(&l.stats.TimersRun, 1)
-	l.execute(KindTimer, t.label, t.cb)
+	ran := l.executeUnit(KindTimer, t.label, t.oref, nil, t.cb)
+	if t.period > 0 {
+		// Chain interval firings: the next firing happens-after this one
+		// (the re-arm above runs before execute, so set the ref after).
+		t.oref = ran
+	}
 }
 
 // nextTimerWait returns how long poll may block before the next timer is
@@ -588,7 +645,7 @@ func (l *Loop) nextTimerWait() (time.Duration, bool) {
 // by substrates to finish work deferred from a previous iteration.
 func (l *Loop) QueuePending(label string, cb func()) {
 	l.mu.Lock()
-	l.pendingCBs = append(l.pendingCBs, &Event{Kind: KindPending, Label: label, CB: cb})
+	l.pendingCBs = append(l.pendingCBs, &Event{Kind: KindPending, Label: label, CB: cb, oref: l.oracleRef()})
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -600,7 +657,7 @@ func (l *Loop) runPendingPhase() {
 	l.pendingCBs = nil
 	l.mu.Unlock()
 	for _, ev := range batch {
-		l.execute(ev.Kind, ev.Label, ev.CB)
+		l.executeUnit(ev.Kind, ev.Label, ev.oref, nil, ev.CB)
 		l.unref()
 	}
 }
@@ -657,7 +714,14 @@ func (l *Loop) poll() {
 			continue
 		}
 		atomic.AddInt64(&l.stats.EventsRun, 1)
-		l.execute(ev.Kind, ev.Label, ev.CB)
+		// The source doubles as the oracle's FIFO key: the legality pass
+		// guarantees same-source events execute in arrival order, which is
+		// the per-connection happens-before edge.
+		var key any
+		if ev.src != nil {
+			key = ev.src
+		}
+		l.executeUnit(ev.Kind, ev.Label, ev.oref, key, ev.CB)
 		if ev.src != nil {
 			ev.src.release()
 		}
@@ -775,7 +839,7 @@ func (l *Loop) SetImmediate(cb func()) { l.SetImmediateNamed("", cb) }
 // SetImmediateNamed is SetImmediate with a schedule label.
 func (l *Loop) SetImmediateNamed(label string, cb func()) {
 	l.mu.Lock()
-	l.immediates = append(l.immediates, &immediateReq{label: label, fn: cb})
+	l.immediates = append(l.immediates, &immediateReq{label: label, fn: cb, oref: l.oracleRef()})
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -788,7 +852,7 @@ func (l *Loop) NextTick(cb func()) { l.NextTickNamed("", cb) }
 // NextTickNamed is NextTick with a schedule label.
 func (l *Loop) NextTickNamed(label string, cb func()) {
 	l.mu.Lock()
-	l.ticks = append(l.ticks, tickFn{label: label, fn: cb})
+	l.ticks = append(l.ticks, tickFn{label: label, fn: cb, oref: l.oracleRef()})
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -805,7 +869,7 @@ func (l *Loop) runImmediates() {
 	l.immediates = nil
 	l.mu.Unlock()
 	for _, im := range batch {
-		l.execute(KindImmediate, im.label, im.fn)
+		l.executeUnit(KindImmediate, im.label, im.oref, nil, im.fn)
 		l.unref()
 	}
 }
@@ -814,7 +878,7 @@ func (l *Loop) runImmediates() {
 
 func (l *Loop) queueClose(label string, cb func()) {
 	l.mu.Lock()
-	l.closing = append(l.closing, &closeReq{label: label, fn: cb})
+	l.closing = append(l.closing, &closeReq{label: label, fn: cb, oref: l.oracleRef()})
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -835,7 +899,7 @@ func (l *Loop) runClosing() {
 			atomic.AddInt64(&l.stats.ClosesDeferred, 1)
 			continue
 		}
-		l.execute(KindClose, cr.label, cr.fn)
+		l.executeUnit(KindClose, cr.label, cr.oref, nil, cr.fn)
 		l.unref()
 	}
 	if len(kept) > 0 {
@@ -864,6 +928,7 @@ func (l *Loop) QueueWorkLatency(name string, latency time.Duration, fn func() (a
 		Name:    name,
 		Latency: latency,
 		Fn:      fn,
+		ORef:    l.oracleRef(),
 		Done: func(res any, err error) {
 			defer l.unref()
 			if done != nil {

@@ -1,5 +1,7 @@
 package eventloop
 
+import "nodefz/internal/oracle"
+
 // PhaseKind selects which loop phase a PhaseHandle runs in (§4.1: "idle,
 // prepare, and check handles are callbacks to be invoked on every event
 // loop iteration").
@@ -40,12 +42,13 @@ type PhaseHandle struct {
 	cb      func()
 	started bool
 	closed  bool
+	oref    oracle.Ref // registering unit, then the previous execution
 }
 
 // NewPhaseHandle registers a handle for the given phase. It starts
 // stopped.
 func (l *Loop) NewPhaseHandle(kind PhaseKind, label string, cb func()) *PhaseHandle {
-	h := &PhaseHandle{loop: l, kind: kind, label: label, cb: cb}
+	h := &PhaseHandle{loop: l, kind: kind, label: label, cb: cb, oref: l.oracleRef()}
 	l.phaseHandles[kind] = append(l.phaseHandles[kind], h)
 	return h
 }
@@ -103,7 +106,9 @@ func (l *Loop) runPhaseHandles(kind PhaseKind) {
 	copy(snapshot, hs)
 	for _, h := range snapshot {
 		if h.started && !h.closed {
-			l.execute(kind.String(), h.label, h.cb)
+			// Executions of one handle chain like interval firings: each
+			// run happens-before the next (they share the handle's state).
+			h.oref = l.executeUnit(kind.String(), h.label, h.oref, nil, h.cb)
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package eventloop
 
-import "time"
+import (
+	"time"
+
+	"nodefz/internal/oracle"
+)
 
 // Event is one ready callback awaiting execution in the poll phase — the
 // analogue of a ready epoll file descriptor in libuv. Events are produced by
@@ -17,6 +21,10 @@ type Event struct {
 	CB func()
 
 	src *Source
+	// oref is the oracle unit that caused this event (the sender of a
+	// network message, the submitter of a pool task); zero when the oracle
+	// is off or the producer is external.
+	oref oracle.Ref
 }
 
 // Scheduler decides which pending events to handle and in what order

@@ -1,6 +1,10 @@
 package eventloop
 
-import "sync"
+import (
+	"sync"
+
+	"nodefz/internal/oracle"
+)
 
 // Source is a pollable event source bound to a loop: the analogue of a file
 // descriptor in the loop's epoll set. Network listeners, connections, and
@@ -33,6 +37,13 @@ func (s *Source) Name() string { return s.name }
 // Post delivers an event produced by this source to the loop's poll phase.
 // Events posted after Close are dropped. Safe from any goroutine.
 func (s *Source) Post(kind, label string, cb func()) {
+	s.PostRef(kind, label, oracle.Ref{}, cb)
+}
+
+// PostRef is Post carrying the oracle unit that caused the event (the
+// sender of the message being delivered), captured loop-side by the
+// substrate at send time. Safe from any goroutine.
+func (s *Source) PostRef(kind, label string, ref oracle.Ref, cb func()) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -40,7 +51,7 @@ func (s *Source) Post(kind, label string, cb func()) {
 	}
 	s.inflight++
 	s.mu.Unlock()
-	s.loop.post(&Event{Kind: kind, Label: label, CB: cb, src: s})
+	s.loop.post(&Event{Kind: kind, Label: label, CB: cb, src: s, oref: ref})
 }
 
 // isClosed reports whether the source has been closed; closed sources'

@@ -3,6 +3,8 @@ package eventloop
 import (
 	"container/heap"
 	"time"
+
+	"nodefz/internal/oracle"
 )
 
 // Timer is a handle for a callback scheduled to run at least d after its
@@ -20,6 +22,7 @@ type Timer struct {
 	stopped  bool
 	refed    bool
 	label    string
+	oref     oracle.Ref // registering unit; for intervals, the previous firing
 }
 
 // Stop cancels the timer. Stopping an already-stopped or already-fired
@@ -63,6 +66,7 @@ func (t *Timer) Refresh() {
 	t.deadline = t.loop.clk.Now().Add(t.dur)
 	t.loop.timerSeq++
 	t.seq = t.loop.timerSeq
+	t.oref = t.loop.oracleRef() // a refresh is a re-registration
 	heap.Push(&t.loop.timers, t)
 	if t.stopped {
 		t.stopped = false

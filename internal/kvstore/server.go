@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/oracle"
 	"nodefz/internal/simnet"
 )
 
@@ -24,6 +25,9 @@ type Server struct {
 
 	workModel func(op string, args []string) time.Duration
 
+	probe      *oracle.Tracker
+	probeMatch func(key string) bool
+
 	requests int
 }
 
@@ -35,6 +39,19 @@ type Server struct {
 // default) means replies are immediate.
 func (s *Server) SetWorkModel(fn func(op string, args []string) time.Duration) {
 	s.workModel = fn
+}
+
+// SetProbe installs the concurrency oracle: each applied command whose key
+// passes match (nil matches every key) is tagged as an oracle access on
+// cell "kv:<key>" — hash-field commands on "kv:<key>:<field>", so writes
+// to distinct fields of one hash do not conflict. Commands are applied on
+// the server's loop inside the delivery unit of the request, so the access
+// is attributed to (and ordered by) the client callback that issued it.
+// Reads map to oracle.Read, SETNX/INCR to oracle.Atomic (they commute),
+// everything else that mutates to oracle.Write.
+func (s *Server) SetProbe(tr *oracle.Tracker, match func(key string) bool) {
+	s.probe = tr
+	s.probeMatch = match
 }
 
 // NewServer starts a store listening on addr.
@@ -96,8 +113,40 @@ func (s *Server) expired(key string) bool {
 	return true
 }
 
+// tag reports the command to the oracle, if one is installed and the key
+// matches. Ops that touch no key (PING) and unknown ops are skipped.
+func (s *Server) tag(req request) {
+	if s.probe == nil || len(req.Args) == 0 {
+		return
+	}
+	key := req.Args[0]
+	if s.probeMatch != nil && !s.probeMatch(key) {
+		return
+	}
+	var kind oracle.AccessKind
+	switch req.Op {
+	case OpGet, OpExists, OpHGet, OpHGetAll, OpHLen, OpLLen, OpLRange:
+		kind = oracle.Read
+	case OpSetNX, OpIncr:
+		kind = oracle.Atomic
+	case OpSet, OpDel, OpAppend, OpHSet, OpHDel, OpLPush, OpRPush, OpLPop:
+		kind = oracle.Write
+	default:
+		return
+	}
+	cell := "kv:" + key
+	switch req.Op {
+	case OpHGet, OpHSet, OpHDel:
+		if len(req.Args) > 1 {
+			cell += ":" + req.Args[1]
+		}
+	}
+	s.probe.Access(cell, kind)
+}
+
 func (s *Server) apply(req request) response {
 	s.requests++
+	s.tag(req)
 	resp := response{ID: req.ID}
 	arg := func(i int) string {
 		if i < len(req.Args) {

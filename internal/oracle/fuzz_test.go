@@ -1,0 +1,116 @@
+package oracle
+
+import "testing"
+
+// FuzzVectorClock drives the chain-decomposition vector-clock engine with
+// an arbitrary DAG of units and checks it against ground truth:
+//
+//   - happensBefore must equal reachability in the registration DAG
+//     (soundness and completeness of the chain/VC encoding);
+//   - the HB order is antisymmetric and irreflexive;
+//   - vector-clock join is commutative and monotone.
+func FuzzVectorClock(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{0xff, 0x00, 0x13, 0x27, 0x31, 0x45})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxUnits = 48
+		tr := New()
+		// units[0] is the implicit root; every created unit names up to two
+		// predecessors among the existing ones (byte-driven), or none —
+		// which the tracker resolves to the root.
+		units := []*unit{tr.stack[0]}
+		reach := make([]map[int]bool, 1)
+		reach[0] = map[int]bool{}
+
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for len(units) < maxUnits {
+			b, ok := next()
+			if !ok {
+				break
+			}
+			var refs []Ref
+			preds := map[int]bool{}
+			p1 := int(b) % len(units)
+			if b&0x80 == 0 {
+				refs = append(refs, Ref{u: units[p1]})
+				preds[p1] = true
+			}
+			if b2, ok2 := next(); ok2 && b2&0x40 != 0 {
+				p2 := int(b2) % len(units)
+				refs = append(refs, Ref{u: units[p2]})
+				preds[p2] = true
+			}
+			if len(preds) == 0 {
+				preds[0] = true // tracker falls back to the enclosing root
+			}
+			tok := tr.Begin("u", "", refs...)
+			u := tok.u
+			tr.End(tok)
+			r := map[int]bool{}
+			for p := range preds {
+				r[p] = true
+				for anc := range reach[p] {
+					r[anc] = true
+				}
+			}
+			units = append(units, u)
+			reach = append(reach, r)
+		}
+
+		for i, a := range units {
+			for j, b := range units {
+				got := happensBefore(a, b)
+				want := i != j && reach[j][i]
+				if got != want {
+					t.Fatalf("happensBefore(u%d,u%d) = %v, reachability says %v", i, j, got, want)
+				}
+				if got && happensBefore(b, a) {
+					t.Fatalf("antisymmetry violated for u%d,u%d", i, j)
+				}
+			}
+			if happensBefore(a, a) {
+				t.Fatalf("irreflexivity violated for u%d", i)
+			}
+		}
+
+		// Join axioms on the collected clocks.
+		clone := func(v vclockT) vclockT { return append(vclockT(nil), v...) }
+		eq := func(a, b vclockT) bool {
+			n := len(a)
+			if len(b) > n {
+				n = len(b)
+			}
+			for i := 0; i < n; i++ {
+				if a.at(int32(i)) != b.at(int32(i)) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < len(units) && i < 8; i++ {
+			for j := 0; j < len(units) && j < 8; j++ {
+				a, b := units[i].vc, units[j].vc
+				ab := clone(a).join(b)
+				ba := clone(b).join(a)
+				if !eq(ab, ba) {
+					t.Fatalf("join not commutative for u%d,u%d: %v vs %v", i, j, ab, ba)
+				}
+				// Monotonicity: the join dominates both operands.
+				for c := 0; c < len(ab); c++ {
+					if ab.at(int32(c)) < a.at(int32(c)) || ab.at(int32(c)) < b.at(int32(c)) {
+						t.Fatalf("join not monotone at chain %d", c)
+					}
+				}
+			}
+		}
+	})
+}

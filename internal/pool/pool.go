@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/vclock"
 )
 
@@ -42,6 +43,10 @@ type Task struct {
 	// lock is taken, because a participant must never wait on the clock
 	// while holding a lock the loop needs.
 	Latency time.Duration
+	// ORef is the oracle unit that submitted the task; the Done callback
+	// executes as a unit that happens-after it. Zero when the oracle is
+	// off.
+	ORef oracle.Ref
 
 	result any
 	err    error
@@ -82,8 +87,12 @@ type Config struct {
 	// done queue.
 	Demux bool
 	// Post delivers a ready completion callback to the event loop's poll
-	// phase. Required.
-	Post func(kind, label string, cb func())
+	// phase, threading the submitting oracle unit along. Required.
+	Post func(kind, label string, ref oracle.Ref, cb func())
+	// Probe is the concurrency oracle; the multiplexed done-queue drain
+	// uses it to bracket each completion as its own sub-unit with its
+	// task's submit edge. Nil when the oracle is off.
+	Probe *oracle.Tracker
 	// Record, when non-nil, is called as each task begins executing on a
 	// worker ("work" entries in the type schedule).
 	Record func(kind, label string)
@@ -430,7 +439,7 @@ func (p *Pool) fillWaitLocked(dof int, maxDelay, pollThreshold time.Duration) bo
 // stock libuv behaviour).
 func (p *Pool) complete(t *Task) {
 	if p.cfg.Demux {
-		p.cfg.Post("work-done", t.Name, func() {
+		p.cfg.Post("work-done", t.Name, t.ORef, func() {
 			if t.Done != nil {
 				t.Done(t.result, t.err)
 			}
@@ -448,11 +457,13 @@ func (p *Pool) complete(t *Task) {
 		// §4.3.1 calls out as hostile to fuzzing. Every done callback that
 		// has accumulated by the time the loop handles this event runs
 		// consecutively, with nothing interleaved.
-		p.cfg.Post("work-done", "done-queue", p.drainDone)
+		p.cfg.Post("work-done", "done-queue", oracle.Ref{}, p.drainDone)
 	}
 }
 
-// drainDone is the multiplexed done queue's poll-event callback.
+// drainDone is the multiplexed done queue's poll-event callback. Each
+// completion runs as its own nested oracle unit carrying its task's
+// submit edge — the drain wrapper itself has no single cause.
 func (p *Pool) drainDone() {
 	for {
 		p.mu.Lock()
@@ -463,8 +474,15 @@ func (p *Pool) drainDone() {
 			return
 		}
 		for _, t := range batch {
+			var tok oracle.Token
+			if p.cfg.Probe != nil {
+				tok = p.cfg.Probe.Begin("work-done", t.Name, t.ORef)
+			}
 			if t.Done != nil {
 				t.Done(t.result, t.err)
+			}
+			if p.cfg.Probe != nil {
+				p.cfg.Probe.End(tok)
 			}
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"nodefz/internal/oracle"
 )
 
 // collector gathers posted completion events and can run them.
@@ -16,7 +18,7 @@ type collector struct {
 	cbs    []func()
 }
 
-func (c *collector) post(kind, label string, cb func()) {
+func (c *collector) post(kind, label string, _ oracle.Ref, cb func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.kinds = append(c.kinds, kind)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nodefz/internal/eventloop"
+	"nodefz/internal/oracle"
 	"nodefz/internal/vclock"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	// Nil means wall time; pass the owning loop's clock to run the network
 	// in simulated time.
 	Clock vclock.Clock
+	// Probe is the concurrency oracle. When set, Dial/Send/Close capture
+	// the calling unit so each delivery happens-after its sender. Nil when
+	// the oracle is off.
+	Probe *oracle.Tracker
 }
 
 // Network is a simulated network segment. All loops sharing the Network can
@@ -82,6 +87,10 @@ func New(cfg Config) *Network {
 
 // Close shuts the network down; undelivered messages are dropped.
 func (n *Network) Close() { n.engine.close() }
+
+// probeRef captures the unit currently executing on the calling loop, for
+// attachment to a delivery scheduled now. Zero when the oracle is off.
+func (n *Network) probeRef() oracle.Ref { return n.cfg.Probe.Current() }
 
 func (n *Network) latency() time.Duration {
 	n.mu.Lock()
@@ -186,6 +195,7 @@ func (c *Conn) Closed() bool {
 // nil Conn and an error). The server's accept callback always runs before
 // the client's connect callback, as with TCP's handshake.
 func (n *Network) Dial(loop *eventloop.Loop, addr string, onConnect func(*Conn, error)) {
+	dialRef := n.probeRef()
 	n.mu.Lock()
 	n.connSeq++
 	seq := n.connSeq
@@ -204,7 +214,7 @@ func (n *Network) Dial(loop *eventloop.Loop, addr string, onConnect func(*Conn, 
 		refused := ln == nil || ln.closed
 		n.mu.Unlock()
 		if refused {
-			client.src.Post(KindConnect, client.name, func() {
+			client.src.PostRef(KindConnect, client.name, dialRef, func() {
 				onConnect(nil, ErrConnectionRefused)
 				client.src.Close(nil)
 			})
@@ -227,12 +237,12 @@ func (n *Network) Dial(loop *eventloop.Loop, addr string, onConnect func(*Conn, 
 		// confirm to the client. The ack travels the server->client
 		// direction so it is FIFO with everything else the server sends —
 		// in particular, an immediate server-side Close cannot overtake it.
-		ln.src.Post(KindAccept, server.name, func() {
+		ln.src.PostRef(KindAccept, server.name, dialRef, func() {
 			// The ack goes out before the application sees the connection,
 			// like a kernel-level SYN-ACK: whatever the accept callback does
 			// (send, even close) is FIFO *behind* it.
-			server.scheduleOut(func() {
-				client.src.Post(KindConnect, client.name, func() {
+			server.scheduleOut(func(ref oracle.Ref) {
+				client.src.PostRef(KindConnect, client.name, ref, func() {
 					onConnect(client, nil)
 				})
 			})
@@ -258,18 +268,21 @@ func (c *Conn) Send(data []byte) error {
 	}
 	msg := make([]byte, len(data))
 	copy(msg, data)
-	c.scheduleOut(func() { peer.deliver(msg) })
+	c.scheduleOut(func(ref oracle.Ref) { peer.deliver(msg, ref) })
 	return nil
 }
 
 // scheduleOut queues fn on this endpoint's outgoing direction: a fresh
 // latency sample, but never delivered before anything already in flight on
-// the same direction (per-connection FIFO, §4.2.1).
-func (c *Conn) scheduleOut(fn func()) {
+// the same direction (per-connection FIFO, §4.2.1). The sending unit is
+// captured here, on the calling loop, and handed to fn so the eventual
+// delivery happens-after its sender.
+func (c *Conn) scheduleOut(fn func(ref oracle.Ref)) {
+	ref := c.net.probeRef()
 	c.mu.Lock()
 	notBefore := c.sendNotBefore
 	c.mu.Unlock()
-	due := c.net.engine.schedule(c.net.latency(), notBefore, fn)
+	due := c.net.engine.schedule(c.net.latency(), notBefore, func() { fn(ref) })
 	c.mu.Lock()
 	if due.After(c.sendNotBefore) {
 		c.sendNotBefore = due
@@ -280,8 +293,8 @@ func (c *Conn) scheduleOut(fn func()) {
 // SendString is Send for string payloads.
 func (c *Conn) SendString(s string) error { return c.Send([]byte(s)) }
 
-func (c *Conn) deliver(msg []byte) {
-	c.src.Post(KindRead, c.name, func() {
+func (c *Conn) deliver(msg []byte, ref oracle.Ref) {
+	c.src.PostRef(KindRead, c.name, ref, func() {
 		c.mu.Lock()
 		fn := c.onData
 		closed := c.closed
@@ -318,8 +331,8 @@ func (c *Conn) Close() {
 // events already queued on the loop must still reach their handler first
 // (per-direction FIFO), and handlers registered between the wire-level
 // close and its loop-level processing must still be honoured.
-func (c *Conn) peerClosed() {
-	c.src.Post(KindClose, c.name, func() {
+func (c *Conn) peerClosed(ref oracle.Ref) {
+	c.src.PostRef(KindClose, c.name, ref, func() {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
