@@ -14,6 +14,7 @@
 //	fzcampaign -app SIO -trials 200 -checkpoint c.jsonl -resume
 //	fzcampaign -app MGS -trials 50 -metrics m.jsonl   # per-trial metrics stream
 //	fzcampaign -app MGS -trials 200 -oracle -oracle-out viol.jsonl
+//	fzcampaign -app SIO -trials 500 -coverage -virtual-time   # greybox: interleaving-coverage feedback
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 		vtime      = flag.Bool("virtual-time", false, "run each trial on a virtual clock (simulated time, CPU-bound)")
 		orc        = flag.Bool("oracle", false, "attach the happens-before oracle to each trial (violation counts journaled, reward signal)")
 		orcOut     = flag.String("oracle-out", "", "write oracle violation JSONL to FILE (implies -oracle)")
+		coverage   = flag.Bool("coverage", false, "interleaving-coverage feedback: coverage-based corpus admission and bandit reward (implies -oracle)")
 	)
 	flag.Parse()
 
@@ -111,6 +113,7 @@ func main() {
 		VirtualTime:      *vtime,
 		Oracle:           *orc,
 		OracleOut:        repW,
+		Coverage:         *coverage,
 	}
 	if !*quiet {
 		cfg.Progress = func(e campaign.TrialEntry) {
@@ -124,6 +127,9 @@ func main() {
 			}
 			if e.Violations > 0 {
 				mark += fmt.Sprintf(" oracle=%d", e.Violations)
+			}
+			if e.NewCoverage > 0 {
+				mark += fmt.Sprintf(" cov=+%.2f", e.NewCoverage)
 			}
 			fmt.Printf("trial %4d seed %-20d arm=%-12s novelty=%.3f %s%s\n",
 				e.Trial, e.Seed, e.ArmName, e.Novelty, status, mark)
@@ -153,6 +159,10 @@ func main() {
 	}
 	fmt.Printf("\ncorpus: %d schedules (novelty threshold %.2f, capacity %d)\n",
 		res.CorpusLen, *novelty, *corpusCap)
+	if *coverage {
+		fmt.Printf("coverage: %d racing pairs, %d hb-edge digests, %d adjacency tuples\n",
+			res.CoveragePairs, res.CoverageDigests, res.CoverageTuples)
+	}
 
 	for _, m := range res.Minimized {
 		pts := make([]string, len(m.Points))

@@ -43,8 +43,10 @@ func DefaultArms() []Arm {
 //
 // with untried arms taking absolute priority in index order and exact ties
 // broken by a seeded RNG, so a fixed (seed, reward sequence) pair replays
-// the same selection sequence. Rewards should lie in [0, 1]; the campaign
-// pays 0.5 * novelty + 0.5 * manifested.
+// the same selection sequence. Rewards are clamped to [0, 1]; the campaign
+// pays 0.5*novelty + 0.5*manifested, or with the oracle attached
+// 0.4*novelty + 0.2*violation + 0.4*manifested, or with coverage feedback
+// 0.3*novelty + 0.2*manifested + 0.3*violation + 0.2*newCoverage.
 type UCB struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -110,18 +112,42 @@ func (b *UCB) Select() int {
 	return best
 }
 
-// Update credits reward to arm. The pull itself was counted by Select; a
-// resume path that replays journaled (arm, reward) pairs uses Replay
-// instead.
+// Update credits reward to arm, clamped to [0, 1] (UCB1's confidence bound
+// assumes bounded rewards; an out-of-range value would let one arm's mean
+// escape the index's scale and starve the others). The pull itself was
+// counted by Select; a resume path that replays journaled (arm, reward)
+// pairs uses Replay instead.
 func (b *UCB) Update(arm int, reward float64) {
+	if arm < 0 || arm >= len(b.pulls) {
+		return
+	}
 	b.mu.Lock()
-	b.sum[arm] += reward
+	b.sum[arm] += clamp01(reward)
+	b.mu.Unlock()
+}
+
+// Release returns the provisional pull Select counted for arm. The campaign
+// calls it when a trial dies (panics) between Select and Update: without the
+// release the phantom pull would permanently deflate the arm's mean — it
+// divides by pulls — and, for an arm whose only pull errored, freeze it at
+// mean 0 forever.
+func (b *UCB) Release(arm int) {
+	if arm < 0 || arm >= len(b.pulls) {
+		return
+	}
+	b.mu.Lock()
+	if b.pulls[arm] > 0 {
+		b.pulls[arm]--
+		b.total--
+	}
 	b.mu.Unlock()
 }
 
 // Replay restores one journaled pull: it counts the pull and credits the
 // reward in a single step. Statistics are sums, so replay order does not
-// matter.
+// matter. The reward is clamped exactly as in Update — a corrupt or
+// future-version journal line must not be able to push an arm's mean
+// outside [0, 1].
 func (b *UCB) Replay(arm int, reward float64) {
 	if arm < 0 || arm >= len(b.pulls) {
 		return
@@ -129,8 +155,20 @@ func (b *UCB) Replay(arm int, reward float64) {
 	b.mu.Lock()
 	b.pulls[arm]++
 	b.total++
-	b.sum[arm] += reward
+	b.sum[arm] += clamp01(reward)
 	b.mu.Unlock()
+}
+
+// clamp01 bounds a reward to [0, 1]; NaN (conceivable only from a hostile
+// journal) maps to 0.
+func clamp01(r float64) float64 {
+	if math.IsNaN(r) || r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
 }
 
 // Stats snapshots all arms.

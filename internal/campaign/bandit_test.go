@@ -115,6 +115,73 @@ func TestUCBReplayIsOrderIndependent(t *testing.T) {
 	}
 }
 
+// TestUCBReleaseRestoresProvisionalPull: a trial that errors between Select
+// and Update must not leave a phantom pull behind. Before Release existed,
+// an untried arm whose first trial died was frozen at mean 0 forever — the
+// provisional pull made it look tried, so it never again took the untried-
+// arms-first fast path, and its mean divided reward 0 by a positive count.
+func TestUCBReleaseRestoresProvisionalPull(t *testing.T) {
+	b := NewUCB(3, 1)
+	a := b.Select() // arm 0, provisional pull counted
+	if a != 0 {
+		t.Fatalf("first select = %d, want 0", a)
+	}
+	b.Release(a) // trial errored before Update
+	stats := b.Stats()
+	for i, s := range stats {
+		if s.Pulls != 0 || s.Reward != 0 {
+			t.Fatalf("arm %d retained phantom state after Release: %+v", i, s)
+		}
+	}
+	// The arm must be treated as untried again: selected first, and its
+	// mean reflects only real rewarded pulls.
+	if a := b.Select(); a != 0 {
+		t.Fatalf("post-release select = %d, want 0 (arm must count as untried)", a)
+	}
+	b.Update(0, 1.0)
+	if got := b.Stats()[0]; got.Pulls != 1 || got.Mean() != 1.0 {
+		t.Fatalf("arm 0 after one rewarded pull: %+v (mean %v), want pulls=1 mean=1",
+			got, got.Mean())
+	}
+	// Release never underflows, and an out-of-range arm is ignored.
+	b.Release(0)
+	b.Release(0)
+	b.Release(99)
+	b.Release(-1)
+	if got := b.Stats()[0].Pulls; got != 0 {
+		t.Fatalf("pulls after over-release = %d, want 0 (clamped, no underflow)", got)
+	}
+}
+
+// TestUCBClampsHostileRewards: a corrupt or future-version journal (and any
+// buggy live caller) must not be able to push an arm's mean outside [0, 1]
+// — an unclamped mean of 1000 would dominate the UCB index and starve every
+// other arm for the rest of the campaign.
+func TestUCBClampsHostileRewards(t *testing.T) {
+	hostile := []float64{1e6, -1e6, 2.0, -0.5, math.Inf(1), math.Inf(-1), math.NaN()}
+	b := NewUCB(2, 1)
+	for _, r := range hostile {
+		b.Replay(0, r)
+	}
+	for _, r := range hostile {
+		a := b.Select()
+		b.Update(a, r)
+	}
+	for i, s := range b.Stats() {
+		m := s.Mean()
+		if math.IsNaN(m) || m < 0 || m > 1 {
+			t.Fatalf("arm %d mean %v escaped [0,1] under hostile rewards: %+v", i, m, s)
+		}
+	}
+	// Sane values pass through unclamped.
+	b2 := NewUCB(1, 1)
+	b2.Replay(0, 0.25)
+	b2.Replay(0, 0.75)
+	if got := b2.Stats()[0].Mean(); got != 0.5 {
+		t.Fatalf("in-range replay mean = %v, want 0.5", got)
+	}
+}
+
 // TestUCBConcurrentUse exercises Select/Update from many goroutines; the
 // -race run in CI is the actual assertion.
 func TestUCBConcurrentUse(t *testing.T) {

@@ -90,6 +90,19 @@ type Config struct {
 	// least one report earns extra bandit reward — the oracle doubles as a
 	// reward signal for schedules that expose races the detectors miss.
 	Oracle bool
+	// Coverage turns on interleaving-coverage feedback (implies Oracle):
+	// each trial's CoverageDigest — racing pairs, HB-edge-set digest,
+	// adjacency tuples, mined from the happens-before tracker — feeds the
+	// corpus's global coverage map. A trial contributing a never-seen
+	// racing pair or HB digest is admitted regardless of schedule novelty,
+	// the bandit reward becomes
+	//
+	//	0.3*novelty + 0.2*manifested + 0.3*oracleViolation + 0.2*newCoverageFraction
+	//
+	// and the contributions are journaled as "coverage" records so resume
+	// replays them. This is the greybox path: novelty search explores
+	// schedule *text*; coverage feedback explores interleaving *behavior*.
+	Coverage bool
 	// OracleOut, when non-nil (and Oracle is set), receives every violation
 	// as one TrialViolation JSONL line, annotated with trial and seed.
 	OracleOut *oracle.ReportWriter
@@ -132,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.MinimizeBudget <= 0 {
 		c.MinimizeBudget = DefaultMinimizeBudget
 	}
+	if c.Coverage {
+		c.Oracle = true // the digest is mined from the HB tracker
+	}
 	return c
 }
 
@@ -145,12 +161,20 @@ type Result struct {
 	Resumed int
 	// Stopped counts trials not started because the budget elapsed.
 	Stopped int
+	// Errored counts trials that panicked mid-run: their bandit pull is
+	// released, nothing is journaled, and resume re-runs them.
+	Errored int
 	// Manifested counts manifesting trials (cumulative).
 	Manifested int
 	// Watermark is the contiguous completed-trial prefix length.
 	Watermark int
 	// CorpusLen is the final corpus size.
 	CorpusLen int
+	// CoveragePairs / CoverageDigests / CoverageTuples are the final global
+	// coverage-map sizes (zero when coverage feedback is off).
+	CoveragePairs   int
+	CoverageDigests int
+	CoverageTuples  int
 	// Arms pairs each arm with its cumulative bandit statistics.
 	Arms []ArmResult
 	// Minimized holds every minimization performed (cumulative).
@@ -231,6 +255,13 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		res.Minimized = append(res.Minimized, st.Minimized...)
+		// Replay journaled coverage contributions so a resumed campaign
+		// neither re-rewards nor re-admits interleavings a previous run
+		// already discovered. Pre-coverage journals carry no such records;
+		// the map simply starts empty.
+		for _, e := range st.Coverage {
+			corpus.SeedCoverage(e.Pairs, e.HBDigest, e.Tuples)
+		}
 		res.Resumed = len(done)
 		res.Done = len(done)
 	}
@@ -278,6 +309,9 @@ func Run(cfg Config) (*Result, error) {
 			Arms:       bandit.Stats(),
 		}
 		mu.Unlock()
+		if cfg.Coverage {
+			entry.CovPairs, entry.CovDigests, entry.CovTuples = corpus.CoverageStats()
+		}
 		_ = journal.Append(entry)
 	}
 
@@ -311,20 +345,43 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		start := time.Now()
-		out := run(runCfg)
+		out, trialErr := runSafely(run, runCfg)
 		elapsed := time.Since(start)
+		if trialErr != nil {
+			// The trial died before producing an outcome: release the
+			// provisional pull Select counted (otherwise the arm's mean is
+			// permanently deflated by a pull that never earned reward) and
+			// journal nothing, so resume re-runs the trial.
+			bandit.Release(arm)
+			mu.Lock()
+			res.Errored++
+			mu.Unlock()
+			return
+		}
 
 		types := rec.Types()
-		adm := corpus.Admit(sched.Truncate(types, cfg.ScheduleTruncate))
+		var cov *oracle.CoverageDigest
+		if cfg.Coverage {
+			d := tracker.Coverage()
+			cov = &d
+		}
+		adm := corpus.AdmitWithCoverage(sched.Truncate(types, cfg.ScheduleTruncate), cov)
 		violations := tracker.Reports()
 		var reward float64
-		if cfg.Oracle {
+		switch {
+		case cfg.Coverage:
+			// Greybox split: schedule novelty, the detector verdict, the
+			// oracle verdict, and the fraction of the trial's interleaving
+			// coverage the campaign had never seen.
+			reward = 0.3*adm.Novelty + 0.2*b2f(out.Manifested) +
+				0.3*b2f(len(violations) > 0) + 0.2*adm.CoverageNew
+		case cfg.Oracle:
 			// With the oracle attached the reward splits three ways: novelty,
 			// the detector verdict, and the oracle verdict. An oracle report on
 			// a non-manifesting trial marks a schedule that came close — worth
 			// steering the bandit toward.
 			reward = 0.4*adm.Novelty + 0.2*b2f(len(violations) > 0) + 0.4*b2f(out.Manifested)
-		} else {
+		default:
 			reward = 0.5*adm.Novelty + 0.5*b2f(out.Manifested)
 		}
 		bandit.Update(arm, reward)
@@ -333,23 +390,36 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		entry := TrialEntry{
-			Type:       "trial",
-			Trial:      i,
-			Seed:       seed,
-			Arm:        arm,
-			ArmName:    cfg.Arms[arm].Name,
-			Manifested: out.Manifested,
-			Note:       out.Note,
-			Novelty:    adm.Novelty,
-			Admitted:   adm.Admitted,
-			Duplicate:  adm.Duplicate,
-			Digest:     sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
-			Reward:     reward,
-			ElapsedMS:  elapsed.Milliseconds(),
-			Violations: len(violations),
+			Type:        "trial",
+			Trial:       i,
+			Seed:        seed,
+			Arm:         arm,
+			ArmName:     cfg.Arms[arm].Name,
+			Manifested:  out.Manifested,
+			Note:        out.Note,
+			Novelty:     adm.Novelty,
+			Admitted:    adm.Admitted,
+			Duplicate:   adm.Duplicate,
+			Digest:      sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
+			Reward:      reward,
+			ElapsedMS:   elapsed.Milliseconds(),
+			Violations:  len(violations),
+			NewCoverage: adm.CoverageNew,
 		}
 		if adm.Admitted {
 			entry.Schedule = sched.Truncate(types, cfg.ScheduleTruncate)
+		}
+		var covEntry *CoverageEntry
+		if cfg.Coverage && (len(adm.NewPairs) > 0 || adm.NewHB || len(adm.NewTuples) > 0) {
+			covEntry = &CoverageEntry{
+				Type:   "coverage",
+				Trial:  i,
+				Pairs:  adm.NewPairs,
+				Tuples: adm.NewTuples,
+			}
+			if adm.NewHB {
+				covEntry.HBDigest = cov.HBDigest
+			}
 		}
 
 		var minEntry *MinimizedEntry
@@ -377,6 +447,9 @@ func Run(cfg Config) (*Result, error) {
 
 		if journal != nil {
 			_ = journal.Append(entry)
+			if covEntry != nil {
+				_ = journal.Append(*covEntry)
+			}
 			if minEntry != nil {
 				_ = journal.Append(*minEntry)
 			}
@@ -385,14 +458,15 @@ func Run(cfg Config) (*Result, error) {
 			d, _ := core.DecisionsOf(recording)
 			d.FoldInto(reg)
 			_ = cfg.Metrics.Write(metrics.TrialRecord{
-				Bug:        cfg.App.Abbr,
-				Mode:       "campaign/" + cfg.Arms[arm].Name,
-				Seed:       seed,
-				Trial:      i,
-				Manifested: out.Manifested,
-				Note:       out.Note,
-				Metrics:    reg.Snapshot(),
-				Schedule:   sched.Truncate(types, cfg.ScheduleTruncate),
+				Bug:         cfg.App.Abbr,
+				Mode:        "campaign/" + cfg.Arms[arm].Name,
+				Seed:        seed,
+				Trial:       i,
+				Manifested:  out.Manifested,
+				Note:        out.Note,
+				Metrics:     reg.Snapshot(),
+				Schedule:    sched.Truncate(types, cfg.ScheduleTruncate),
+				NewCoverage: adm.CoverageNew,
 			})
 		}
 
@@ -422,6 +496,9 @@ func Run(cfg Config) (*Result, error) {
 
 	res.Watermark = watermarkOf(completed)
 	res.CorpusLen = corpus.Len()
+	if cfg.Coverage {
+		res.CoveragePairs, res.CoverageDigests, res.CoverageTuples = corpus.CoverageStats()
+	}
 	stats := bandit.Stats()
 	res.Arms = make([]ArmResult, len(cfg.Arms))
 	for i, a := range cfg.Arms {
@@ -434,6 +511,18 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runSafely executes one trial, converting a panic in the app or substrate
+// into an error instead of taking down the whole campaign (and every other
+// worker's in-flight trial) with it.
+func runSafely(run func(bugs.RunConfig) bugs.Outcome, cfg bugs.RunConfig) (out bugs.Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: trial panic: %v", r)
+		}
+	}()
+	return run(cfg), nil
 }
 
 // b2f is the reward indicator: 1 for true, 0 for false.

@@ -231,6 +231,126 @@ func TestCampaignMetricsStream(t *testing.T) {
 	}
 }
 
+// TestCampaignPanickingTrialReleasesArm: a trial that panics must not take
+// down the campaign, must not journal a completion (resume re-runs it), and
+// must release its provisional bandit pull so the arm's mean is not
+// permanently deflated by pulls that never earned reward.
+func TestCampaignPanickingTrialReleasesArm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	app := &bugs.App{
+		Abbr: "PANIC",
+		Run: func(cfg bugs.RunConfig) bugs.Outcome {
+			panic("trial exploded")
+		},
+	}
+	res, err := Run(Config{App: app, Trials: 6, Workers: 2, BaseSeed: 5,
+		CheckpointPath: path, MinimizeTrials: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errored != 6 || res.Done != 0 || res.Watermark != 0 {
+		t.Fatalf("panicking campaign: %+v", res)
+	}
+	for _, a := range res.Arms {
+		if a.Pulls != 0 || a.Reward != 0 {
+			t.Fatalf("errored trials left phantom bandit state: %+v", res.Arms)
+		}
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Trials) != 0 {
+		t.Fatalf("errored trials must not journal completions: %d trial records", len(st.Trials))
+	}
+}
+
+// TestCampaignCoverageResumeRoundTrip: a coverage campaign journals its
+// coverage contributions and a resume replays them — the resumed run's
+// global coverage map contains at least everything the first run found, and
+// resumed trials are not re-run.
+func TestCampaignCoverageResumeRoundTrip(t *testing.T) {
+	app := bugs.ByAbbr("SIO")
+	if app == nil {
+		t.Fatal("SIO missing from corpus")
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cfg := Config{App: app, Trials: 8, Workers: 2, BaseSeed: 11,
+		VirtualTime: true, Coverage: true, CheckpointPath: path, MinimizeTrials: -1}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CoveragePairs == 0 && r1.CoverageDigests == 0 {
+		t.Fatalf("coverage campaign found no coverage at all: %+v", r1)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Coverage) == 0 {
+		t.Fatal("no coverage records journaled")
+	}
+
+	cfg.Trials = 16
+	cfg.Resume = true
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Resumed != 8 || r2.Done != 16 || r2.Watermark != 16 {
+		t.Fatalf("coverage resume: %+v", r2)
+	}
+	if r2.CoverageDigests < r1.CoverageDigests || r2.CoveragePairs < r1.CoveragePairs ||
+		r2.CoverageTuples < r1.CoverageTuples {
+		t.Fatalf("resume lost coverage state: first %d/%d/%d, resumed %d/%d/%d",
+			r1.CoveragePairs, r1.CoverageDigests, r1.CoverageTuples,
+			r2.CoveragePairs, r2.CoverageDigests, r2.CoverageTuples)
+	}
+}
+
+// TestCampaignResumePreCoverageJournal is the backward-compat gate: a
+// journal written before coverage feedback existed (no "coverage" records,
+// no new_coverage fields — the committed fixture) must resume cleanly with
+// coverage enabled, starting the coverage map empty.
+func TestCampaignResumePreCoverageJournal(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "precoverage_sio.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(path, fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("pre-coverage fixture must load: %v", err)
+	}
+	if len(st.Trials) == 0 {
+		t.Fatal("fixture journal holds no trials; regenerate it")
+	}
+	if len(st.Coverage) != 0 {
+		t.Fatal("fixture journal is not pre-coverage; regenerate it without -coverage")
+	}
+	app := bugs.ByAbbr("SIO")
+	if app == nil {
+		t.Fatal("SIO missing from corpus")
+	}
+	res, err := Run(Config{App: app, Trials: len(st.Trials) + 8, Workers: 2,
+		BaseSeed: 11, VirtualTime: true, Coverage: true,
+		CheckpointPath: path, Resume: true, MinimizeTrials: -1})
+	if err != nil {
+		t.Fatalf("resume from pre-coverage journal with coverage on: %v", err)
+	}
+	if res.Resumed != len(st.Trials) || res.Done != res.Trials {
+		t.Fatalf("pre-coverage resume: %+v", res)
+	}
+	// The new trials run greybox: they populate the coverage map from zero.
+	if res.CoverageDigests == 0 {
+		t.Fatalf("no coverage discovered by post-upgrade trials: %+v", res)
+	}
+}
+
 func TestCampaignConfigErrors(t *testing.T) {
 	if _, err := Run(Config{Trials: 1}); err == nil {
 		t.Error("nil App must error")

@@ -10,12 +10,18 @@ import (
 )
 
 // The checkpoint journal is append-only JSONL: one self-describing record
-// per line, distinguished by a "type" field. Three record types exist:
+// per line, distinguished by a "type" field. Four record types exist:
 //
 //   - "trial": one completed trial — everything resume needs to avoid
 //     re-running it and to rebuild the bandit and corpus;
 //   - "minimized": the delta-debugged perturbation set of a manifesting
 //     trial;
+//   - "coverage": the interleaving-coverage items a trial contributed that
+//     the campaign had never seen (racing pairs, HB-edge-set digest,
+//     adjacency tuples); resume replays them into the global coverage map
+//     so rediscoveries earn no reward. Journals written before coverage
+//     existed simply have none — resume from them starts the coverage map
+//     empty, which is exactly what those campaigns knew;
 //   - "checkpoint": a periodic summary (watermark, corpus size, arm stats),
 //     redundant with the trial records but cheap to read for monitoring.
 //
@@ -41,6 +47,21 @@ type TrialEntry struct {
 	// Violations counts the trial's oracle reports (0 when the oracle is
 	// off; absent in journals written before the oracle existed).
 	Violations int `json:"violations,omitempty"`
+	// NewCoverage is the trial's new-coverage reward fraction (0 when
+	// coverage feedback is off; absent in pre-coverage journals).
+	NewCoverage float64 `json:"new_coverage,omitempty"`
+}
+
+// CoverageEntry journals the never-seen-before coverage items one trial
+// contributed. Written only when coverage feedback is on and the trial
+// contributed something new.
+type CoverageEntry struct {
+	Type  string   `json:"type"` // "coverage"
+	Trial int      `json:"trial"`
+	Pairs []string `json:"pairs,omitempty"`
+	// HBDigest is set only when the trial's HB-edge-set digest was new.
+	HBDigest string   `json:"hb_digest,omitempty"`
+	Tuples   []string `json:"tuples,omitempty"`
 }
 
 // MinimizedEntry journals one minimized trace.
@@ -64,6 +85,11 @@ type CheckpointEntry struct {
 	Manifested int       `json:"manifested"`
 	CorpusLen  int       `json:"corpus"`
 	Arms       []ArmStat `json:"arms"`
+	// Global coverage-map sizes at checkpoint time (omitted when coverage
+	// feedback is off).
+	CovPairs   int `json:"cov_pairs,omitempty"`
+	CovDigests int `json:"cov_digests,omitempty"`
+	CovTuples  int `json:"cov_tuples,omitempty"`
 }
 
 // Journal appends records to a checkpoint file, one JSON line at a time,
@@ -196,6 +222,9 @@ type JournalState struct {
 	Trials map[int]TrialEntry
 	// Minimized holds the journaled minimizations, in journal order.
 	Minimized []MinimizedEntry
+	// Coverage holds the journaled coverage contributions, in journal
+	// order (empty for pre-coverage journals).
+	Coverage []CoverageEntry
 	// TornTail is true when the final line failed to parse (the writer was
 	// killed mid-append); the loader stops there and keeps what it has.
 	TornTail bool
@@ -270,6 +299,14 @@ func LoadJournal(path string) (*JournalState, error) {
 				continue
 			}
 			st.Minimized = append(st.Minimized, e)
+		case "coverage":
+			var e CoverageEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				sawTail = true
+				st.TornTail = true
+				continue
+			}
+			st.Coverage = append(st.Coverage, e)
 		case "checkpoint":
 			// Summaries are derivable from the trial records; skip.
 		default:

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 )
 
@@ -16,12 +17,17 @@ import (
 //
 // Admission rules:
 //
-//   - exact duplicates (by digest) of any schedule ever offered are rejected
-//     outright, before the Levenshtein pass, so duplicate admission is
-//     order-insensitive: the first offer decides, repeats never mutate state;
-//   - a schedule is admitted only when its distance to its nearest corpus
+//   - exact duplicates (by digest) of a recently offered schedule or a
+//     current member are rejected outright, before the Levenshtein pass.
+//     Detection is windowed (two rotating generations of digests, see
+//     DefaultSeenWindow) so a million-trial campaign holds a bounded digest
+//     set rather than one entry per trial forever; member digests are
+//     pinned and never age out;
+//   - a schedule is admitted when its distance to its nearest corpus
 //     neighbour strictly exceeds the novelty threshold (distance exactly at
-//     the threshold is rejected);
+//     the threshold is rejected), OR — via AdmitWithCoverage — when its
+//     trial contributed a never-seen racing pair or HB-edge-set digest to
+//     the campaign-global interleaving-coverage map;
 //   - at capacity, admitting evicts the new schedule's nearest neighbour —
 //     the member it is most redundant with — keeping the corpus spread out.
 //
@@ -46,7 +52,26 @@ type Corpus struct {
 
 	mu      sync.Mutex
 	entries []corpusEntry
-	seen    map[uint64]bool // digest of every schedule ever offered
+
+	// Duplicate detection is windowed, not eternal: seenCur and seenPrev
+	// are two generations of offered-schedule digests. When seenCur fills
+	// its window it becomes seenPrev and a fresh generation starts, so
+	// memory is bounded at ~2×seenWindow entries no matter how many
+	// trials the campaign runs, and detection stays exact over at least
+	// the last seenWindow offers. members pins the digests of current
+	// corpus members so a member never ages out of duplicate detection.
+	seenCur, seenPrev map[uint64]bool
+	members           map[uint64]bool
+	seenWindow        int
+
+	// Coverage is the campaign-global interleaving-coverage map: every
+	// racing pair, HB-edge-set digest, and adjacency tuple any trial has
+	// ever produced. A trial contributing a never-seen racing pair or HB
+	// digest is admitted regardless of schedule novelty — interleaving
+	// coverage is the greybox signal; novelty is only its proxy.
+	covPairs   map[string]bool
+	covDigests map[string]bool
+	covTuples  map[string]bool
 
 	// intern maps each distinct callback-type string to a dense ID. The
 	// table only grows (a handful of kinds exist), never per-admission.
@@ -71,11 +96,32 @@ type Admission struct {
 	Novelty float64
 	// Admitted is true when the schedule entered the corpus.
 	Admitted bool
-	// Duplicate is true when the schedule's digest had been offered before.
+	// Duplicate is true when the schedule's digest had been offered before
+	// (within the duplicate-detection window or as a current member).
 	Duplicate bool
 	// Evicted is true when admission displaced an existing member.
 	Evicted bool
+
+	// NewPairs / NewTuples are the trial's coverage items never seen
+	// campaign-wide before this offer; NewHB is true when the trial's
+	// HB-edge-set digest was never seen. Populated only by
+	// AdmitWithCoverage.
+	NewPairs  []string
+	NewTuples []string
+	NewHB     bool
+	// CoverageNew is the fraction of the trial's coverage items that were
+	// new (in [0, 1]); the bandit's new-coverage reward term.
+	CoverageNew float64
+	// CoverageAdmitted is true when the schedule entered the corpus on the
+	// coverage path (new racing pair or HB digest) rather than — or in
+	// addition to — the novelty path.
+	CoverageAdmitted bool
 }
+
+// DefaultSeenWindow is the per-generation size of the duplicate-detection
+// window: detection is exact over at least the most recent DefaultSeenWindow
+// offers and memory is bounded at ~2× that many digests.
+const DefaultSeenWindow = 1 << 16
 
 // NewCorpus builds an empty corpus. threshold is the minimum nearest-
 // neighbour distance for admission (strictly greater-than); capacity bounds
@@ -91,12 +137,33 @@ func NewCorpus(threshold float64, capacity, truncate int) *Corpus {
 		truncate = DefaultScheduleTruncate
 	}
 	return &Corpus{
-		threshold: threshold,
-		capacity:  capacity,
-		truncate:  truncate,
-		seen:      make(map[uint64]bool),
-		intern:    make(map[string]int32),
+		threshold:  threshold,
+		capacity:   capacity,
+		truncate:   truncate,
+		seenCur:    make(map[uint64]bool),
+		members:    make(map[uint64]bool),
+		seenWindow: DefaultSeenWindow,
+		covPairs:   make(map[string]bool),
+		covDigests: make(map[string]bool),
+		covTuples:  make(map[string]bool),
+		intern:     make(map[string]int32),
 	}
+}
+
+// sawLocked reports whether digest d counts as a duplicate. Caller holds
+// c.mu.
+func (c *Corpus) sawLocked(d uint64) bool {
+	return c.members[d] || c.seenCur[d] || c.seenPrev[d]
+}
+
+// markSeenLocked records an offered digest, rotating generations when the
+// current one fills its window. Caller holds c.mu.
+func (c *Corpus) markSeenLocked(d uint64) {
+	if len(c.seenCur) >= c.seenWindow {
+		c.seenPrev = c.seenCur
+		c.seenCur = make(map[uint64]bool)
+	}
+	c.seenCur[d] = true
 }
 
 // Len reports the current member count.
@@ -199,24 +266,45 @@ func (c *Corpus) levenshteinIDs(a, b []int32) int {
 // Admit offers a type schedule to the corpus and reports what happened. The
 // offered slice is copied when retained; callers may reuse it.
 func (c *Corpus) Admit(types []string) Admission {
+	return c.AdmitWithCoverage(types, nil)
+}
+
+// AdmitWithCoverage is Admit plus interleaving-coverage feedback: the
+// trial's CoverageDigest is folded into the campaign-global coverage map,
+// and a schedule that contributes a never-seen racing pair or HB-edge-set
+// digest is admitted even when its Levenshtein novelty falls below the
+// threshold. cov == nil degenerates to plain novelty admission.
+//
+// Coverage is folded for every offer — including exact duplicates, whose
+// interleaving can still differ from the earlier run of the same type
+// schedule — but a duplicate is never (re-)admitted: the corpus stores only
+// the type schedule, so admitting it again would add nothing.
+func (c *Corpus) AdmitWithCoverage(types []string, cov *oracle.CoverageDigest) Admission {
 	types = sched.Truncate(types, c.truncate)
 	d := sched.Digest(types)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.seen[d] {
-		return Admission{Duplicate: true}
+	var adm Admission
+	if cov != nil {
+		c.foldCoverageLocked(cov, &adm)
 	}
-	c.seen[d] = true
+	if c.sawLocked(d) {
+		adm.Duplicate = true
+		return adm
+	}
+	c.markSeenLocked(d)
 
 	c.candScratch = c.internTypes(types, c.candScratch)
 	novelty, nearest := c.nearest(c.candScratch)
-	adm := Admission{Novelty: novelty}
-	if len(c.entries) > 0 && novelty <= c.threshold {
+	adm.Novelty = novelty
+	adm.CoverageAdmitted = len(adm.NewPairs) > 0 || adm.NewHB
+	if len(c.entries) > 0 && novelty <= c.threshold && !adm.CoverageAdmitted {
 		return adm
 	}
 	if len(c.entries) >= c.capacity {
 		// Displace the member the newcomer is most redundant with.
+		delete(c.members, c.entries[nearest].digest)
 		c.entries = append(c.entries[:nearest], c.entries[nearest+1:]...)
 		adm.Evicted = true
 	}
@@ -225,8 +313,70 @@ func (c *Corpus) Admit(types []string) Admission {
 	ids := make([]int32, len(c.candScratch))
 	copy(ids, c.candScratch)
 	c.entries = append(c.entries, corpusEntry{digest: d, types: cp, ids: ids})
+	c.members[d] = true
 	adm.Admitted = true
 	return adm
+}
+
+// foldCoverageLocked merges a trial's coverage digest into the global map
+// and fills the admission's new-coverage fields. Caller holds c.mu.
+func (c *Corpus) foldCoverageLocked(cov *oracle.CoverageDigest, adm *Admission) {
+	for _, p := range cov.RacingPairs {
+		if !c.covPairs[p] {
+			c.covPairs[p] = true
+			adm.NewPairs = append(adm.NewPairs, p)
+		}
+	}
+	for _, tu := range cov.Tuples {
+		if !c.covTuples[tu] {
+			c.covTuples[tu] = true
+			adm.NewTuples = append(adm.NewTuples, tu)
+		}
+	}
+	if cov.HBDigest != "" && !c.covDigests[cov.HBDigest] {
+		c.covDigests[cov.HBDigest] = true
+		adm.NewHB = true
+	}
+	newItems := len(adm.NewPairs) + len(adm.NewTuples)
+	if adm.NewHB {
+		newItems++
+	}
+	adm.CoverageNew = float64(newItems) / float64(cov.Items())
+}
+
+// SeedCoverage pre-marks coverage items as already seen, without admitting
+// anything — the resume path replays journaled "coverage" records through
+// it so a resumed campaign neither re-rewards nor re-admits interleavings a
+// previous run already discovered. An empty hbDigest means the record
+// carried none.
+func (c *Corpus) SeedCoverage(pairs []string, hbDigest string, tuples []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range pairs {
+		c.covPairs[p] = true
+	}
+	for _, tu := range tuples {
+		c.covTuples[tu] = true
+	}
+	if hbDigest != "" {
+		c.covDigests[hbDigest] = true
+	}
+}
+
+// CoverageStats reports the sizes of the global coverage map: distinct
+// racing pairs, HB-edge-set digests, and adjacency tuples seen so far.
+func (c *Corpus) CoverageStats() (pairs, digests, tuples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.covPairs), len(c.covDigests), len(c.covTuples)
+}
+
+// SeenSize reports how many digests duplicate detection currently holds
+// (both generations plus pinned members); tests assert its steady state.
+func (c *Corpus) SeenSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seenCur) + len(c.seenPrev) + len(c.members)
 }
 
 // Schedules returns copies of the member schedules in admission order —
@@ -251,7 +401,7 @@ func (c *Corpus) MarkSeen(digestHex string) {
 		return
 	}
 	c.mu.Lock()
-	c.seen[d] = true
+	c.markSeenLocked(d)
 	c.mu.Unlock()
 }
 

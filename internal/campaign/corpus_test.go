@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"fmt"
 	"testing"
 
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 )
 
@@ -119,6 +121,115 @@ func TestCorpusMarkSeen(t *testing.T) {
 	c.MarkSeen("not-hex") // ignored, must not panic
 	if c.Len() != 0 {
 		t.Fatalf("MarkSeen must not admit: Len = %d", c.Len())
+	}
+}
+
+// TestCorpusSeenWindowBounded: duplicate detection must not grow one map
+// entry per trial forever — a million-trial campaign would leak the corpus
+// into gigabytes. The two-generation rotation keeps memory at ~2×window
+// while staying exact over at least the last window offers.
+func TestCorpusSeenWindowBounded(t *testing.T) {
+	c := NewCorpus(0.9, 4, 0) // high threshold: almost nothing admitted
+	c.seenWindow = 100
+	distinct := func(i int) []string {
+		return []string{"a", fmt.Sprintf("k%d", i)}
+	}
+	for i := 0; i < 1000; i++ {
+		c.Admit(distinct(i))
+		// Steady state: both generations plus pinned members never exceed
+		// 2×window + capacity.
+		if got, limit := c.SeenSize(), 2*c.seenWindow+c.capacity; got > limit {
+			t.Fatalf("offer %d: seen-set size %d exceeds bound %d", i, got, limit)
+		}
+	}
+	// Exactness over the window: a schedule offered within the last
+	// `window` offers is still a duplicate.
+	if adm := c.Admit(distinct(999)); !adm.Duplicate {
+		t.Fatalf("recent offer not detected as duplicate: %+v", adm)
+	}
+	// Members never age out of duplicate detection, no matter how many
+	// offers pass: the first offer was admitted (first is always novel).
+	if adm := c.Admit(distinct(0)); !adm.Duplicate {
+		t.Fatalf("corpus member aged out of duplicate detection: %+v", adm)
+	}
+}
+
+// TestCorpusCoverageAdmission: a schedule below the novelty threshold must
+// still be admitted when its trial contributed a never-seen racing pair or
+// HB-edge-set digest — interleaving coverage, not schedule text, is the
+// greybox signal.
+func TestCorpusCoverageAdmission(t *testing.T) {
+	c := NewCorpus(0.5, 8, 0)
+	c.Admit([]string{"a", "b", "c", "d"})
+
+	// One edit in four: NLD 0.25 <= 0.5, rejected on the novelty path.
+	lowNovelty := []string{"a", "b", "c", "e"}
+	cov := &oracle.CoverageDigest{
+		RacingPairs: []string{"timer|work-done"},
+		HBDigest:    "00000000deadbeef",
+		Tuples:      []string{"timer>close"},
+	}
+	adm := c.AdmitWithCoverage(lowNovelty, cov)
+	if !adm.Admitted || !adm.CoverageAdmitted {
+		t.Fatalf("new racing pair must force admission: %+v", adm)
+	}
+	if len(adm.NewPairs) != 1 || !adm.NewHB || len(adm.NewTuples) != 1 {
+		t.Fatalf("new-coverage accounting wrong: %+v", adm)
+	}
+	// 3 new items of 3 offered (pairs + tuples + the digest): fraction 1.
+	if adm.CoverageNew != 1 {
+		t.Fatalf("CoverageNew = %v, want 1", adm.CoverageNew)
+	}
+
+	// Same coverage again on another low-novelty schedule: nothing new, no
+	// coverage admission, and the fraction is 0.
+	adm = c.AdmitWithCoverage([]string{"a", "b", "c", "f"}, cov)
+	if adm.Admitted || adm.CoverageAdmitted || adm.CoverageNew != 0 {
+		t.Fatalf("replayed coverage must not re-admit or re-reward: %+v", adm)
+	}
+
+	// A fresh HB digest alone (no new pairs) also admits.
+	cov2 := &oracle.CoverageDigest{HBDigest: "00000000cafe0000"}
+	adm = c.AdmitWithCoverage([]string{"a", "b", "c", "g"}, cov2)
+	if !adm.Admitted || !adm.CoverageAdmitted || !adm.NewHB {
+		t.Fatalf("new HB digest must force admission: %+v", adm)
+	}
+
+	// New tuples alone do NOT admit (they only feed the reward fraction).
+	cov3 := &oracle.CoverageDigest{HBDigest: "00000000cafe0000", Tuples: []string{"x>y"}}
+	adm = c.AdmitWithCoverage([]string{"a", "b", "c", "h"}, cov3)
+	if adm.Admitted || adm.CoverageAdmitted {
+		t.Fatalf("tuples alone must not admit: %+v", adm)
+	}
+	if adm.CoverageNew == 0 {
+		t.Fatalf("new tuple must still earn reward fraction: %+v", adm)
+	}
+
+	// nil coverage degenerates to plain novelty admission.
+	adm = c.AdmitWithCoverage([]string{"p", "q", "r", "s"}, nil)
+	if !adm.Admitted || adm.CoverageAdmitted || adm.CoverageNew != 0 {
+		t.Fatalf("nil-coverage admission: %+v", adm)
+	}
+}
+
+// TestCorpusSeedCoverage: resume replays journaled coverage records through
+// SeedCoverage; a re-discovered interleaving afterwards is old news.
+func TestCorpusSeedCoverage(t *testing.T) {
+	c := NewCorpus(0.5, 8, 0)
+	c.SeedCoverage([]string{"timer|close"}, "0000000000000abc", []string{"a>b"})
+	pairs, digests, tuples := c.CoverageStats()
+	if pairs != 1 || digests != 1 || tuples != 1 {
+		t.Fatalf("CoverageStats after seed = %d/%d/%d, want 1/1/1", pairs, digests, tuples)
+	}
+	c.Admit([]string{"a", "b", "c", "d"})
+	cov := &oracle.CoverageDigest{
+		RacingPairs: []string{"timer|close"},
+		HBDigest:    "0000000000000abc",
+		Tuples:      []string{"a>b"},
+	}
+	adm := c.AdmitWithCoverage([]string{"a", "b", "c", "e"}, cov)
+	if adm.Admitted || adm.CoverageAdmitted || adm.CoverageNew != 0 {
+		t.Fatalf("seeded coverage re-admitted or re-rewarded: %+v", adm)
 	}
 }
 

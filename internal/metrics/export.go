@@ -19,6 +19,9 @@ type TrialRecord struct {
 	Note       string   `json:"note,omitempty"`
 	Metrics    Snapshot `json:"metrics"`
 	Schedule   []string `json:"schedule,omitempty"`
+	// NewCoverage is the trial's new-interleaving-coverage fraction when
+	// the campaign runs with coverage feedback (0 / absent otherwise).
+	NewCoverage float64 `json:"new_coverage,omitempty"`
 }
 
 // JSONLWriter streams TrialRecords as JSON Lines, one record per line. It

@@ -1,0 +1,155 @@
+package oracle
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// CoverageDigest is the per-trial interleaving-coverage summary mined from
+// the happens-before tracker — the greybox feedback signal MUZZ argues
+// matters for concurrency bugs: not *which* code ran (every trial runs the
+// same app) but *how its callbacks interleaved*. Three signals, each cheap
+// to maintain inline with work the tracker already does:
+//
+//   - RacingPairs: the set of callback-kind pairs observed racing — two
+//     units with conflicting accesses to one cell, unordered by
+//     happens-before (the same condition that produces a Report, minus the
+//     per-cell dedup and report cap). A never-seen racing pair means the
+//     schedule drove two kinds of callbacks into a new kind of conflict.
+//   - HBDigest: an FNV-1a digest of the trial's type-level HB-edge set —
+//     the distinct (predecessor kind → successor kind) causality edges the
+//     tracker recorded. Two trials whose callbacks were causally wired the
+//     same way share a digest; a fresh digest means a causality shape the
+//     campaign has never executed.
+//   - Tuples: the callback-kind k-tuples (k=2,3) executed adjacently at the
+//     top level of the schedule — the schedule-sensitive n-gram coverage of
+//     the interleaving itself.
+//
+// All three sets are accumulated under the tracker's mutex on the event-loop
+// goroutine and emitted sorted, so with a fixed seed under a virtual clock
+// the digest is a pure function of the trial (bit-identical across runs).
+type CoverageDigest struct {
+	// RacingPairs holds canonical "kindA|kindB" strings, kinds sorted
+	// within the pair, the set sorted.
+	RacingPairs []string `json:"racing_pairs,omitempty"`
+	// HBDigest is the 16-hex-digit XOR-folded FNV-1a digest of the
+	// distinct type-level happens-before edges.
+	HBDigest string `json:"hb_digest"`
+	// Tuples holds "a>b" and "a>b>c" adjacency n-grams, sorted.
+	Tuples []string `json:"tuples,omitempty"`
+}
+
+// Items counts the digest's coverage items (pairs + tuples + the HB digest
+// itself); the campaign uses it as the denominator of the new-coverage
+// reward fraction.
+func (d CoverageDigest) Items() int {
+	return len(d.RacingPairs) + len(d.Tuples) + 1
+}
+
+// coverage is the tracker-side accumulator behind CoverageDigest.
+type coverage struct {
+	pairs    map[string]bool
+	tuples   map[string]bool
+	hbSeen   map[uint64]bool
+	hbDigest uint64
+	// prev1/prev2 are the kinds of the last and second-to-last top-level
+	// units, for adjacency n-grams; topCount tracks how many top-level
+	// units have begun.
+	prev1, prev2 string
+	topCount     int
+}
+
+func newCoverage() *coverage {
+	return &coverage{
+		pairs:  make(map[string]bool),
+		tuples: make(map[string]bool),
+		hbSeen: make(map[uint64]bool),
+	}
+}
+
+// edgeHash fingerprints one type-level HB edge. A NUL separates the kinds
+// (kinds are short printable identifiers, never containing NUL), mirroring
+// sched.Digest's element framing.
+func edgeHash(from, to string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(from))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(to))
+	return h.Sum64()
+}
+
+// noteHBEdge folds one type-level causality edge into the HB-edge set
+// digest. XOR over distinct edge hashes makes the digest order-insensitive:
+// it identifies the edge *set*, not the discovery order. Caller holds t.mu.
+func (t *Tracker) noteHBEdge(from, to string) {
+	c := t.cov
+	h := edgeHash(from, to)
+	if c.hbSeen[h] {
+		return
+	}
+	c.hbSeen[h] = true
+	c.hbDigest ^= h
+}
+
+// noteTopLevel records a top-level callback execution for adjacency-tuple
+// coverage. Caller holds t.mu.
+func (t *Tracker) noteTopLevel(kind string) {
+	c := t.cov
+	if c.topCount >= 1 {
+		c.tuples[c.prev1+">"+kind] = true
+	}
+	if c.topCount >= 2 {
+		c.tuples[c.prev2+">"+c.prev1+">"+kind] = true
+	}
+	c.prev2, c.prev1 = c.prev1, kind
+	c.topCount++
+}
+
+// noteRacingPair records that units of kinds a and b raced (conflicting
+// accesses, unordered by HB). The pair is canonicalized so (a,b) and (b,a)
+// coincide. Caller holds t.mu.
+func (t *Tracker) noteRacingPair(a, b string) {
+	if b < a {
+		a, b = b, a
+	}
+	t.cov.pairs[a+"|"+b] = true
+}
+
+// Coverage snapshots the trial's interleaving coverage. Safe on a nil
+// receiver (returns the zero digest) and at any point during or after a
+// trial; the campaign calls it once, after the trial completes.
+func (t *Tracker) Coverage() CoverageDigest {
+	if t == nil {
+		return CoverageDigest{HBDigest: hbDigestString(0)}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.cov
+	d := CoverageDigest{HBDigest: hbDigestString(c.hbDigest)}
+	if len(c.pairs) > 0 {
+		d.RacingPairs = make([]string, 0, len(c.pairs))
+		for p := range c.pairs {
+			d.RacingPairs = append(d.RacingPairs, p)
+		}
+		sort.Strings(d.RacingPairs)
+	}
+	if len(c.tuples) > 0 {
+		d.Tuples = make([]string, 0, len(c.tuples))
+		for tu := range c.tuples {
+			d.Tuples = append(d.Tuples, tu)
+		}
+		sort.Strings(d.Tuples)
+	}
+	return d
+}
+
+// hbDigestString renders the edge-set digest as fixed-width hex, the same
+// form the campaign journal stores schedule digests in.
+func hbDigestString(d uint64) string {
+	s := strconv.FormatUint(d, 16)
+	for len(s) < 16 {
+		s = "0" + s
+	}
+	return s
+}

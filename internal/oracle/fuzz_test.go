@@ -1,6 +1,96 @@
 package oracle
 
-import "testing"
+import (
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzCoverageDigest drives a tracker with an arbitrary byte-derived
+// sequence of Begin/End/Access/Sync operations and checks the coverage
+// digest's contract:
+//
+//   - replay determinism: the same operation sequence yields a deeply equal
+//     CoverageDigest (the campaign's determinism gate relies on this);
+//   - canonical form: sets sorted and duplicate-free, racing pairs ordered
+//     within the pair, HBDigest fixed-width hex;
+//   - the digest is insensitive to when it is read (snapshot purity).
+func FuzzCoverageDigest(f *testing.F) {
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33})
+	f.Add([]byte{0xff, 0x80, 0x41, 0x07, 0x99, 0x12, 0x55, 0xc3})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a})
+	kinds := []string{"timer", "net-read", "work", "work-done", "close", "immediate"}
+	cells := []string{"db:a", "db:b", "fs:p"}
+	drive := func(data []byte) CoverageDigest {
+		tr := New()
+		var units []Ref
+		units = append(units, tr.Current())
+		var open []Token
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 4 {
+			case 0: // Begin, registered by some earlier unit
+				ref := units[int(arg)%len(units)]
+				tok := tr.Begin(kinds[int(arg)%len(kinds)], "", ref)
+				units = append(units, tok.Ref())
+				open = append(open, tok)
+			case 1: // End innermost
+				if n := len(open); n > 0 {
+					tr.End(open[n-1])
+					open = open[:n-1]
+				}
+			case 2: // Access
+				tr.Access(cells[int(arg)%len(cells)], AccessKind(arg%3))
+			case 3: // Sync
+				tr.Sync(cells[int(arg)%len(cells)])
+			}
+		}
+		mid := tr.Coverage()
+		for _, tok := range open {
+			tr.End(tok)
+		}
+		end := tr.Coverage()
+		// Ending units adds no coverage: edges and tuples are recorded at
+		// Begin, races at Access.
+		if !reflect.DeepEqual(mid, end) {
+			panic("Coverage changed across End calls with no new operations")
+		}
+		return end
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c1 := drive(data)
+		c2 := drive(data)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("replay produced different digests:\n%+v\n%+v", c1, c2)
+		}
+		if len(c1.HBDigest) != 16 {
+			t.Fatalf("HBDigest %q not fixed-width", c1.HBDigest)
+		}
+		if _, err := strconv.ParseUint(c1.HBDigest, 16, 64); err != nil {
+			t.Fatalf("HBDigest %q not hex: %v", c1.HBDigest, err)
+		}
+		checkSet := func(name string, s []string) {
+			if !sort.StringsAreSorted(s) {
+				t.Fatalf("%s not sorted: %v", name, s)
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i] == s[i-1] {
+					t.Fatalf("%s has duplicate %q", name, s[i])
+				}
+			}
+		}
+		checkSet("RacingPairs", c1.RacingPairs)
+		checkSet("Tuples", c1.Tuples)
+		for _, p := range c1.RacingPairs {
+			halves := strings.SplitN(p, "|", 2)
+			if len(halves) != 2 || halves[0] > halves[1] {
+				t.Fatalf("racing pair %q not canonical", p)
+			}
+		}
+	})
+}
 
 // FuzzVectorClock drives the chain-decomposition vector-clock engine with
 // an arbitrary DAG of units and checks it against ground truth:

@@ -67,6 +67,7 @@ type Tracker struct {
 	reports   []Report
 	maxRep    int
 	dedup     map[reportKey]bool
+	cov       *coverage
 }
 
 // New returns a Tracker with an implicit root unit on the stack: code that
@@ -80,6 +81,7 @@ func New() *Tracker {
 		cells:     make(map[string]*cellState),
 		maxRep:    256,
 		dedup:     make(map[reportKey]bool),
+		cov:       newCoverage(),
 	}
 	root := &unit{id: 0, kind: "root", chain: 0, index: 1, vc: vclockT{1}}
 	t.nextID = 1
@@ -181,6 +183,12 @@ func (t *Tracker) newUnit(kind, label string, refs []Ref, extra *unit) *unit {
 		if p.tainted {
 			u.tainted = true
 		}
+		t.noteHBEdge(p.kind, kind)
+	}
+	if len(t.stack) == 1 {
+		// Begin has not pushed yet: only the root below means this unit is a
+		// top-level callback — one element of the interleaving itself.
+		t.noteTopLevel(kind)
 	}
 	if t.taintSet[label] || t.taintSet[kind] {
 		u.tainted = true
@@ -254,6 +262,7 @@ func (t *Tracker) Sync(key string) {
 		if prev.tainted {
 			cur.tainted = true
 		}
+		t.noteHBEdge(prev.kind, cur.kind)
 	}
 	t.lastSync[key] = cur
 }
