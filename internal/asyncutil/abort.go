@@ -1,0 +1,136 @@
+package asyncutil
+
+import (
+	"errors"
+	"fmt"
+
+	"nodefz/internal/eventloop"
+)
+
+// ErrAborted is the default cancellation reason (JS "AbortError").
+var ErrAborted = errors.New("asyncutil: operation aborted")
+
+// AbortError wraps the reason an AbortSignal fired so dependents can both
+// detect cancellation (IsAborted / errors.Is(err, ErrAborted)) and recover
+// the application-level cause.
+type AbortError struct {
+	Reason error
+}
+
+func (e *AbortError) Error() string {
+	if e.Reason == nil || e.Reason == ErrAborted {
+		return ErrAborted.Error()
+	}
+	return fmt.Sprintf("%v: %v", ErrAborted, e.Reason)
+}
+
+func (e *AbortError) Unwrap() error {
+	if e.Reason == nil {
+		return ErrAborted
+	}
+	return e.Reason
+}
+
+// IsAborted reports whether err is a cancellation error.
+func IsAborted(err error) bool {
+	if errors.Is(err, ErrAborted) {
+		return true
+	}
+	var ae *AbortError
+	return errors.As(err, &ae)
+}
+
+// AbortController owns one AbortSignal, mirroring the DOM pair: the holder
+// of the controller cancels, holders of the signal observe. Loop-side
+// objects: use only from loop callbacks.
+type AbortController struct {
+	signal *AbortSignal
+}
+
+// AbortSignal broadcasts a one-shot cancellation to its listeners. Abort
+// listeners run as microtasks ordered happens-after the aborting unit, so
+// the oracle sees cancellation as a real causal edge, not a coincidence.
+type AbortSignal struct {
+	loop      *eventloop.Loop
+	aborted   bool
+	reason    error
+	listeners []func(error)
+}
+
+// NewAbortController creates a controller (and its signal) on l.
+func NewAbortController(l *eventloop.Loop) *AbortController {
+	return &AbortController{signal: &AbortSignal{loop: l}}
+}
+
+// Signal returns the controller's signal.
+func (c *AbortController) Signal() *AbortSignal { return c.signal }
+
+// Abort fires the signal with reason (nil means ErrAborted). Listeners are
+// dispatched as microtasks; repeat calls are no-ops.
+func (c *AbortController) Abort(reason error) { c.signal.abort(reason) }
+
+func (s *AbortSignal) abort(reason error) {
+	if s.aborted {
+		return
+	}
+	if reason == nil {
+		reason = ErrAborted
+	}
+	s.aborted = true
+	s.reason = reason
+	listeners := s.listeners
+	s.listeners = nil
+	for _, fn := range listeners {
+		fn := fn
+		s.loop.NextTickNamed("abort", func() { fn(reason) })
+	}
+}
+
+// Aborted reports whether the signal has fired.
+func (s *AbortSignal) Aborted() bool { return s.aborted }
+
+// Reason returns the abort reason, nil while unaborted.
+func (s *AbortSignal) Reason() error { return s.reason }
+
+// OnAbort registers fn to run (as a microtask) when the signal fires; if
+// it already fired, fn is scheduled immediately. The registering unit and
+// the aborting unit both precede fn in happens-before order.
+func (s *AbortSignal) OnAbort(fn func(reason error)) {
+	if s.aborted {
+		reason := s.reason
+		s.loop.NextTickNamed("abort", func() { fn(reason) })
+		return
+	}
+	s.listeners = append(s.listeners, fn)
+}
+
+// WithSignal derives a promise that settles like p unless sig aborts
+// first, in which case it rejects with an *AbortError carrying the abort
+// reason — the JS fetch(…, {signal}) contract. The underlying work is not
+// interrupted (promises are not cancellable in-flight); dependents are
+// released immediately and the late settlement of p is absorbed. A nil
+// signal returns a pass-through derived promise.
+func (p *Promise) WithSignal(sig *AbortSignal) *Promise {
+	next := &Promise{loop: p.loop}
+	p.handled = true
+	if sig != nil {
+		if sig.aborted {
+			next.reject(&AbortError{Reason: sig.reason})
+			return next
+		}
+		sig.OnAbort(func(reason error) {
+			next.reject(&AbortError{Reason: reason})
+		})
+	}
+	p.settled(func() {
+		if next.state != 0 || next.resolved {
+			return
+		}
+		if p.state == 2 {
+			next.reject(p.err)
+			return
+		}
+		next.resolve(p.value)
+	})
+	return next
+}

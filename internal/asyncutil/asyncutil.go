@@ -32,7 +32,12 @@ func Waterfall(steps []Step, final Callback) {
 			final(nil, prev)
 			return
 		}
+		called := false // a step's second next call is a no-op
 		steps[i](prev, func(err error, result any) {
+			if called {
+				return
+			}
+			called = true
 			if err != nil {
 				final(err, nil)
 				return
@@ -59,7 +64,12 @@ func Series(tasks []Task, final func(err error, results []any)) {
 			final(nil, results)
 			return
 		}
+		called := false // a task's second done call is a no-op
 		tasks[i](func(err error, result any) {
+			if called {
+				return
+			}
+			called = true
 			if err != nil {
 				final(err, nil)
 				return
@@ -75,7 +85,8 @@ func Series(tasks []Task, final func(err error, results []any)) {
 // completed, with results in task order. The first error wins and final is
 // called exactly once, immediately, with that error. Tasks may complete in
 // any order — the helper is the commutativity-safe pattern whose absence
-// causes COV bugs (§3.2.2).
+// causes COV bugs (§3.2.2). A task invoking its callback more than once
+// counts as one completion; the extra calls are no-ops.
 func Parallel(tasks []Task, final func(err error, results []any)) {
 	if final == nil {
 		final = func(error, []any) {}
@@ -87,12 +98,14 @@ func Parallel(tasks []Task, final func(err error, results []any)) {
 	results := make([]any, len(tasks))
 	remaining := len(tasks)
 	failed := false
+	done := make([]bool, len(tasks))
 	for i, task := range tasks {
 		i := i
 		task(func(err error, result any) {
-			if failed {
+			if done[i] || failed {
 				return
 			}
+			done[i] = true
 			if err != nil {
 				failed = true
 				final(err, nil)
@@ -138,7 +151,8 @@ func (b *Barrier) Arrive() {
 	}
 }
 
-// Remaining reports how many arrivals are still outstanding.
+// Remaining reports how many arrivals are still outstanding; 0 once fired
+// (never negative, even for NewBarrier(n <= 0)).
 func (b *Barrier) Remaining() int { return b.remaining }
 
 // Fired reports whether the barrier has released.
@@ -146,6 +160,7 @@ func (b *Barrier) Fired() bool { return b.fired }
 
 func (b *Barrier) fire() {
 	b.fired = true
+	b.remaining = 0
 	if b.fn != nil {
 		b.fn()
 	}

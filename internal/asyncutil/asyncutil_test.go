@@ -170,6 +170,150 @@ func TestBarrierZeroFiresImmediately(t *testing.T) {
 	}
 }
 
+// TestParallelDoubleCallbackIsNoOp pins the repaired accounting: a task
+// invoking its callback twice must count as one completion, not corrupt
+// remaining and fire final early (or twice).
+func TestParallelDoubleCallbackIsNoOp(t *testing.T) {
+	var pending []Callback
+	calls := 0
+	var results []any
+	Parallel([]Task{
+		func(d Callback) { d(nil, "a"); d(nil, "a-again") },
+		func(d Callback) { pending = append(pending, d) },
+	}, func(err error, res []any) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls++
+		results = res
+	})
+	if calls != 0 {
+		t.Fatal("final ran with a task outstanding (double callback counted twice)")
+	}
+	pending[0](nil, "b")
+	pending[0](nil, "b-again") // replay after completion: no-op
+	if calls != 1 {
+		t.Fatalf("final called %d times, want 1", calls)
+	}
+	if !reflect.DeepEqual(results, []any{"a", "b"}) {
+		t.Fatalf("results = %v (a duplicate callback overwrote a result)", results)
+	}
+}
+
+func TestParallelDoubleCallbackCannotResurrectAfterError(t *testing.T) {
+	var pending []Callback
+	calls := 0
+	var gotErr error
+	Parallel([]Task{
+		func(d Callback) { pending = append(pending, d) },
+		func(d Callback) { pending = append(pending, d) },
+	}, func(err error, _ []any) { calls++; gotErr = err })
+	boom := errors.New("boom")
+	pending[0](boom, nil)
+	pending[0](nil, "retry") // the failed task "succeeding" later is ignored
+	pending[1](nil, "late")
+	if calls != 1 || !errors.Is(gotErr, boom) {
+		t.Fatalf("calls=%d err=%v", calls, gotErr)
+	}
+}
+
+func TestWaterfallDoubleNextIsNoOp(t *testing.T) {
+	runs := make([]int, 3)
+	finals := 0
+	var got any
+	Waterfall([]Step{
+		func(prev any, next Callback) { runs[0]++; next(nil, 1); next(nil, 100) },
+		func(prev any, next Callback) { runs[1]++; next(nil, prev.(int)+1) },
+		func(prev any, next Callback) { runs[2]++; next(nil, prev.(int)*2) },
+	}, func(err error, result any) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		finals++
+		got = result
+	})
+	if !reflect.DeepEqual(runs, []int{1, 1, 1}) {
+		t.Fatalf("step run counts = %v (double next re-ran the tail)", runs)
+	}
+	if finals != 1 || got != 4 {
+		t.Fatalf("finals=%d result=%v, want 1/4", finals, got)
+	}
+}
+
+func TestSeriesDoubleDoneIsNoOp(t *testing.T) {
+	finals := 0
+	var results []any
+	Series([]Task{
+		func(done Callback) { done(nil, "a"); done(nil, "a-again") },
+		func(done Callback) { done(nil, "b") },
+	}, func(err error, res []any) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		finals++
+		results = res
+	})
+	if finals != 1 {
+		t.Fatalf("final called %d times, want 1", finals)
+	}
+	if !reflect.DeepEqual(results, []any{"a", "b"}) {
+		t.Fatalf("results = %v (duplicate done duplicated a result)", results)
+	}
+}
+
+func TestBarrierNegativeFiresImmediatelyAndClampsRemaining(t *testing.T) {
+	fired := 0
+	b := NewBarrier(-3, func() { fired++ })
+	if fired != 1 || !b.Fired() {
+		t.Fatal("negative barrier did not fire at construction")
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0 after firing", b.Remaining())
+	}
+	b.Arrive()
+	if fired != 1 || b.Remaining() != 0 {
+		t.Fatalf("post-fire Arrive changed state: fired=%d remaining=%d", fired, b.Remaining())
+	}
+}
+
+func TestBarrierRemainingAccounting(t *testing.T) {
+	b := NewBarrier(2, nil) // nil callback is allowed
+	if got := b.Remaining(); got != 2 {
+		t.Fatalf("Remaining = %d, want 2", got)
+	}
+	b.Arrive()
+	if got := b.Remaining(); got != 1 {
+		t.Fatalf("Remaining = %d, want 1", got)
+	}
+	b.Arrive()
+	if got := b.Remaining(); got != 0 || !b.Fired() {
+		t.Fatalf("Remaining = %d fired=%v, want 0/true", got, b.Fired())
+	}
+	for i := 0; i < 5; i++ {
+		b.Arrive() // extra arrivals never drive Remaining negative
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d after extra arrivals, want 0", got)
+	}
+}
+
+func TestGateZeroAndNegative(t *testing.T) {
+	// Pin the raw-counter semantics of Figure 4: Gate is the unguarded
+	// `--remaining === 0` idiom, so a zero-initialized gate releases on
+	// nothing — its first Done takes remaining to -1, not 0. This is the
+	// sharp edge applications hold (and the fuzzer probes), not a bug in
+	// the helper.
+	g := NewGate(0)
+	for i := 0; i < 3; i++ {
+		if g.Done() {
+			t.Fatal("zero gate released")
+		}
+	}
+	if g.Remaining() != -3 {
+		t.Fatalf("Remaining = %d, want -3", g.Remaining())
+	}
+}
+
 func TestGateCountsDown(t *testing.T) {
 	g := NewGate(3)
 	if g.Done() || g.Done() {

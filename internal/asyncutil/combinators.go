@@ -1,0 +1,103 @@
+package asyncutil
+
+import (
+	"fmt"
+
+	"nodefz/internal/eventloop"
+)
+
+// AggregateError is PromiseAny's rejection when every input rejects,
+// carrying all the individual reasons in input order (JS AggregateError).
+type AggregateError struct {
+	Errors []error
+}
+
+func (e *AggregateError) Error() string {
+	return fmt.Sprintf("asyncutil: all %d promises rejected", len(e.Errors))
+}
+
+// Unwrap exposes the individual reasons to errors.Is/As.
+func (e *AggregateError) Unwrap() []error { return e.Errors }
+
+// PromiseAny resolves with the first input to fulfill; it rejects (with an
+// *AggregateError of every reason, input order) only if all inputs reject.
+// An empty input list rejects immediately, like JS Promise.any.
+func PromiseAny(l *eventloop.Loop, ps []*Promise) *Promise {
+	result := &Promise{loop: l}
+	if len(ps) == 0 {
+		result.reject(&AggregateError{})
+		return result
+	}
+	errs := make([]error, len(ps))
+	remaining := len(ps)
+	key := syncKey()
+	for i, p := range ps {
+		i, p := i, p
+		p.handled = true
+		p.settled(func() {
+			// Rejection counting is commutative: chain the waiters so the
+			// one that completes the AggregateError is ordered after every
+			// input (same Sync treatment as PromiseAll's counter).
+			l.Probe().Sync(key)
+			if result.state != 0 || result.resolved {
+				return
+			}
+			if p.state == 1 {
+				result.resolve(p.value)
+				return
+			}
+			errs[i] = p.err
+			remaining--
+			if remaining == 0 {
+				result.reject(&AggregateError{Errors: errs})
+			}
+		})
+	}
+	return result
+}
+
+// SettlementStatus is the outcome tag in a PromiseAllSettled result.
+type SettlementStatus string
+
+const (
+	Fulfilled SettlementStatus = "fulfilled"
+	Rejected  SettlementStatus = "rejected"
+)
+
+// Settlement is one input's outcome in a PromiseAllSettled result.
+type Settlement struct {
+	Status SettlementStatus
+	Value  any   // set when Status == Fulfilled
+	Err    error // set when Status == Rejected
+}
+
+// PromiseAllSettled resolves once every input has settled, with a
+// []Settlement in input order. It never rejects, and it marks every input
+// handled, so it also quiets unhandled-rejection tracking for its inputs.
+func PromiseAllSettled(l *eventloop.Loop, ps []*Promise) *Promise {
+	result := &Promise{loop: l}
+	if len(ps) == 0 {
+		result.resolve([]Settlement{})
+		return result
+	}
+	outcomes := make([]Settlement, len(ps))
+	remaining := len(ps)
+	key := syncKey()
+	for i, p := range ps {
+		i, p := i, p
+		p.handled = true
+		p.settled(func() {
+			l.Probe().Sync(key)
+			if p.state == 2 {
+				outcomes[i] = Settlement{Status: Rejected, Err: p.err}
+			} else {
+				outcomes[i] = Settlement{Status: Fulfilled, Value: p.value}
+			}
+			remaining--
+			if remaining == 0 {
+				result.resolve(outcomes)
+			}
+		})
+	}
+	return result
+}

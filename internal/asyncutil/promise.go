@@ -1,7 +1,12 @@
 package asyncutil
 
 import (
+	"errors"
+	"strconv"
+	"sync/atomic"
+
 	"nodefz/internal/eventloop"
+	"nodefz/internal/oracle"
 )
 
 // Promise is a JavaScript-style promise bound to one event loop. §3.4.2
@@ -17,13 +22,52 @@ import (
 // other events. Promises are loop-side objects; Resolve/Reject are
 // additionally safe to call from worker-pool completion callbacks since
 // those run on the loop too.
+//
+// Resolving with another *Promise adopts it (A+ §2.3): the outer promise
+// assumes the inner one's eventual state instead of fulfilling with the
+// promise object as a value, so Then/Catch callbacks that return a promise
+// are flattened. Resolution cycles (a promise that would adopt itself,
+// directly or through a chain) reject with ErrPromiseCycle, mirroring the
+// TypeError the A+ spec mandates.
+//
+// For the violation oracle, every settlement callback happens-after both
+// the unit that attached it and the unit that settled the promise
+// (eventloop.NextTickJoin carries the second edge), and the counting
+// combinators thread a Tracker.Sync chain through their waiters so "the
+// completion that observed the final count" is ordered after every input —
+// the same release-acquire treatment the corpus gives Gate counters.
 type Promise struct {
-	loop    *eventloop.Loop
-	state   int // 0 pending, 1 fulfilled, 2 rejected
-	value   any
-	err     error
-	waiters []func()
+	loop     *eventloop.Loop
+	state    int  // 0 pending, 1 fulfilled, 2 rejected
+	resolved bool // a resolution is locked in (possibly an adoption in flight)
+	handled  bool // some consumer observes this promise's rejection
+	adopting *Promise
+	value    any
+	err      error
+	// settleRef is the oracle unit that settled the promise, joined into
+	// every settlement callback's happens-before predecessors.
+	settleRef oracle.Ref
+	waiters   []waiter
 }
+
+// waiter is one pending settlement callback plus the unit that attached it.
+type waiter struct {
+	ref oracle.Ref
+	fn  func()
+}
+
+// promiseTickLabel is the schedule label of promise settlement microtasks.
+const promiseTickLabel = "promise"
+
+// ErrPromiseCycle rejects a promise whose resolution chain would adopt
+// itself (the A+ §2.3.1 TypeError).
+var ErrPromiseCycle = errors.New("asyncutil: promise resolution cycle")
+
+// promiseSeq feeds the per-combinator oracle Sync keys. Only uniqueness
+// within a process matters; the key string never reaches a report.
+var promiseSeq atomic.Uint64
+
+func syncKey() string { return "promise:" + strconv.FormatUint(promiseSeq.Add(1), 10) }
 
 // NewPromise runs executor immediately (like the JS constructor) with the
 // settlement functions. Settling more than once is a no-op.
@@ -43,48 +87,98 @@ func RejectedPromise(l *eventloop.Loop, err error) *Promise {
 	return NewPromise(l, func(_ func(any), reject func(error)) { reject(err) })
 }
 
-// Pending reports whether the promise is unsettled.
+// Pending reports whether the promise is unsettled. A promise that has
+// adopted a pending promise is still pending.
 func (p *Promise) Pending() bool { return p.state == 0 }
 
+// Loop returns the event loop the promise is bound to.
+func (p *Promise) Loop() *eventloop.Loop { return p.loop }
+
 func (p *Promise) resolve(v any) {
-	if p.state != 0 {
+	if p.resolved || p.state != 0 {
 		return
 	}
-	p.state = 1
-	p.value = v
-	p.flush()
+	if q, ok := v.(*Promise); ok && q != nil {
+		p.adopt(q)
+		return
+	}
+	p.resolved = true
+	p.settle(1, v, nil)
 }
 
 func (p *Promise) reject(err error) {
+	if p.resolved || p.state != 0 {
+		return
+	}
+	p.resolved = true
+	p.settle(2, nil, err)
+}
+
+// adopt locks p's resolution to q's eventual state (thenable adoption).
+// Walking the in-flight adoption chain catches cycles: a promise that
+// would wait on itself rejects with ErrPromiseCycle instead of pending
+// forever.
+func (p *Promise) adopt(q *Promise) {
+	for cur := q; cur != nil; cur = cur.adopting {
+		if cur == p {
+			p.resolved = true
+			p.settle(2, nil, ErrPromiseCycle)
+			return
+		}
+	}
+	p.resolved = true
+	p.adopting = q
+	q.handled = true // p forwards q's rejection
+	q.settled(func() {
+		p.adopting = nil
+		if q.state == 2 {
+			p.settle(2, nil, q.err)
+		} else {
+			p.settle(1, q.value, nil)
+		}
+	})
+}
+
+// settle records the final state and flushes the waiters as microtasks.
+func (p *Promise) settle(state int, v any, err error) {
 	if p.state != 0 {
 		return
 	}
-	p.state = 2
+	p.state = state
+	p.value = v
 	p.err = err
-	p.flush()
-}
-
-func (p *Promise) flush() {
+	p.settleRef = p.loop.Probe().Current()
+	if state == 2 {
+		if r := rejectionsFor(p.loop); r != nil {
+			r.add(p)
+		}
+	}
 	waiters := p.waiters
 	p.waiters = nil
 	for _, w := range waiters {
-		p.loop.NextTickNamed("promise", w)
+		// The tick's registering unit is the settler (we are inside its
+		// callback); join the attacher so both edges reach the oracle.
+		p.loop.NextTickJoin(promiseTickLabel, w.ref, w.fn)
 	}
 }
 
-// settled registers fn to run as a microtask once the promise settles.
+// settled registers fn to run as a microtask once the promise settles. It
+// does not mark the promise handled; public consumers do.
 func (p *Promise) settled(fn func()) {
 	if p.state != 0 {
-		p.loop.NextTickNamed("promise", fn)
+		// Registering unit = the attacher (current); join the settler.
+		p.loop.NextTickJoin(promiseTickLabel, p.settleRef, fn)
 		return
 	}
-	p.waiters = append(p.waiters, fn)
+	p.waiters = append(p.waiters, waiter{ref: p.loop.Probe().Current(), fn: fn})
 }
 
 // Then chains a fulfillment handler; its return value (or error) settles
-// the returned promise. A rejection skips fn and propagates.
+// the returned promise, and a returned *Promise is adopted, not passed
+// through as a value. A rejection skips fn and propagates.
 func (p *Promise) Then(fn func(any) (any, error)) *Promise {
 	next := &Promise{loop: p.loop}
+	p.handled = true
 	p.settled(func() {
 		if p.state == 2 {
 			next.reject(p.err)
@@ -95,27 +189,17 @@ func (p *Promise) Then(fn func(any) (any, error)) *Promise {
 			next.reject(err)
 			return
 		}
-		// Chaining: a returned promise is adopted.
-		if inner, ok := v.(*Promise); ok {
-			inner.settled(func() {
-				if inner.state == 2 {
-					next.reject(inner.err)
-					return
-				}
-				next.resolve(inner.value)
-			})
-			return
-		}
-		next.resolve(v)
+		next.resolve(v) // resolve adopts a returned *Promise
 	})
 	return next
 }
 
 // Catch chains a rejection handler; fulfillment passes through untouched.
-// fn's return value fulfills the returned promise (recovery), its error
-// re-rejects it.
+// fn's return value fulfills the returned promise (recovery; a returned
+// *Promise is adopted), its error re-rejects it.
 func (p *Promise) Catch(fn func(error) (any, error)) *Promise {
 	next := &Promise{loop: p.loop}
+	p.handled = true
 	p.settled(func() {
 		if p.state == 1 {
 			next.resolve(p.value)
@@ -134,6 +218,7 @@ func (p *Promise) Catch(fn func(error) (any, error)) *Promise {
 // Finally runs fn on settlement either way and passes the outcome through.
 func (p *Promise) Finally(fn func()) *Promise {
 	next := &Promise{loop: p.loop}
+	p.handled = true
 	p.settled(func() {
 		fn()
 		if p.state == 2 {
@@ -156,10 +241,16 @@ func PromiseAll(l *eventloop.Loop, ps []*Promise) *Promise {
 	}
 	values := make([]any, len(ps))
 	remaining := len(ps)
+	key := syncKey()
 	for i, p := range ps {
 		i, p := i, p
+		p.handled = true
 		p.settled(func() {
-			if result.state != 0 {
+			// The remaining-counter is a commutative sync object: each
+			// decrement happens-after every earlier one, so the waiter that
+			// observes zero is ordered after all inputs (the Gate pattern).
+			l.Probe().Sync(key)
+			if result.state != 0 || result.resolved {
 				return
 			}
 			if p.state == 2 {
@@ -176,13 +267,15 @@ func PromiseAll(l *eventloop.Loop, ps []*Promise) *Promise {
 	return result
 }
 
-// PromiseRace settles with the first input promise to settle.
+// PromiseRace settles with the first input promise to settle. An empty
+// input list races forever (JS semantics): the result never settles.
 func PromiseRace(l *eventloop.Loop, ps []*Promise) *Promise {
 	result := &Promise{loop: l}
 	for _, p := range ps {
 		p := p
+		p.handled = true
 		p.settled(func() {
-			if result.state != 0 {
+			if result.state != 0 || result.resolved {
 				return
 			}
 			if p.state == 2 {

@@ -1,0 +1,268 @@
+package asyncutil
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/vclock"
+)
+
+// --- settlement-callback reentrancy -------------------------------------
+// These pin the current semantics before the API grows further: resolving
+// a promise from inside its own chain, a Catch that rejects, and a Finally
+// that panics.
+
+func TestReentrantResolveInsideThenIsNoOp(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	var resolve func(any)
+	var log []string
+	p := NewPromise(l, func(r func(any), _ func(error)) { resolve = r })
+	p.Then(func(v any) (any, error) {
+		// The chain's source is already settled while its handler runs; a
+		// second resolve from inside the handler must lose silently.
+		resolve("again")
+		log = append(log, fmt.Sprintf("then-1 %v", v))
+		return v, nil
+	}).Then(func(v any) (any, error) {
+		log = append(log, fmt.Sprintf("then-2 %v", v))
+		return nil, nil
+	})
+	resolve("first")
+	runLoop(t, l)
+	want := []string{"then-1 first", "then-2 first"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("got %q, want %q", log, want)
+	}
+}
+
+func TestReentrantRejectDuringExecutorHandlers(t *testing.T) {
+	// A handler attached inside the executor, before reject runs, still
+	// fires exactly once with the final state.
+	l := eventloop.New(eventloop.Options{})
+	boom := errors.New("boom")
+	var log []string
+	NewPromise(l, func(resolve func(any), reject func(error)) {
+		reject(boom)
+		resolve("late") // must lose
+		reject(errors.New("other"))
+	}).Catch(func(err error) (any, error) {
+		log = append(log, err.Error())
+		return nil, nil
+	})
+	runLoop(t, l)
+	if !reflect.DeepEqual(log, []string{"boom"}) {
+		t.Fatalf("got %q", log)
+	}
+}
+
+func TestCatchThatRejectsPropagates(t *testing.T) {
+	l := eventloop.New(eventloop.Options{})
+	first := errors.New("first")
+	second := errors.New("second")
+	var log []string
+	RejectedPromise(l, first).
+		Catch(func(err error) (any, error) {
+			log = append(log, "catch-1 "+err.Error())
+			return nil, second // a Catch can itself reject
+		}).
+		Then(func(any) (any, error) {
+			log = append(log, "then (unreachable)")
+			return nil, nil
+		}).
+		Catch(func(err error) (any, error) {
+			log = append(log, "catch-2 "+err.Error())
+			return nil, nil
+		})
+	runLoop(t, l)
+	want := []string{"catch-1 first", "catch-2 second"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("got %q, want %q", log, want)
+	}
+}
+
+func TestFinallyPanicPropagatesOutOfRun(t *testing.T) {
+	// Pin the semantics: the loop does not swallow a panicking callback —
+	// it unwinds out of Run like an uncaught JS exception kills the
+	// process. Downstream handlers never run.
+	l := eventloop.New(eventloop.Options{})
+	downstream := false
+	ResolvedPromise(l, 1).
+		Finally(func() { panic("finally-panic") }).
+		Then(func(any) (any, error) { downstream = true; return nil, nil })
+	recovered := make(chan any, 1)
+	go func() {
+		defer func() { recovered <- recover() }()
+		_ = l.Run()
+		recovered <- nil
+	}()
+	select {
+	case r := <-recovered:
+		if r != "finally-panic" {
+			t.Fatalf("recovered %v, want finally-panic", r)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("loop did not panic or terminate")
+	}
+	if downstream {
+		t.Fatal("handler after the panicking Finally ran")
+	}
+}
+
+// --- microtask starvation ------------------------------------------------
+
+func TestMicrotaskStarvationChainBeforeMacrotasks(t *testing.T) {
+	// A long synchronous-resolution Then chain is one microtask per link,
+	// and the tick queue drains completely before the loop advances: a
+	// timer and an immediate registered first still wait for all N links.
+	const n = 5000
+	l := eventloop.New(eventloop.Options{})
+	links := 0
+	var atTimer, atImmediate int
+	l.SetTimeout(0, func() { atTimer = links })
+	l.SetImmediate(func() { atImmediate = links })
+	p := ResolvedPromise(l, nil)
+	for i := 0; i < n; i++ {
+		p = p.Then(func(any) (any, error) { links++; return nil, nil })
+	}
+	runLoop(t, l)
+	if links != n {
+		t.Fatalf("chain ran %d links, want %d", links, n)
+	}
+	if atTimer != n || atImmediate != n {
+		t.Fatalf("macrotasks saw %d/%d links, want %d (microtasks must starve them)",
+			atTimer, atImmediate, n)
+	}
+}
+
+func TestMicrotaskStarvationSelfReplicatingTick(t *testing.T) {
+	// A tick that re-registers itself k times starves the check phase for
+	// exactly k generations.
+	const k = 1000
+	l := eventloop.New(eventloop.Options{})
+	gen := 0
+	var atImmediate int
+	l.SetImmediate(func() { atImmediate = gen })
+	var replicate func()
+	replicate = func() {
+		gen++
+		if gen < k {
+			l.NextTick(replicate)
+		}
+	}
+	l.NextTick(replicate)
+	runLoop(t, l)
+	if gen != k || atImmediate != k {
+		t.Fatalf("gen=%d atImmediate=%d, want %d", gen, atImmediate, k)
+	}
+}
+
+// --- nested-tick chaos ---------------------------------------------------
+
+// buildChaos wires a randomized (but seed-determined) tangle of nested
+// ticks, immediates, timers, promise chains, combinators, and aborts onto
+// l, appending observable events to the returned log. The structure
+// depends only on structSeed, never on execution order, so two runs with
+// the same (structSeed, scheduler seed) must produce identical logs under
+// virtual time.
+func buildChaos(l *eventloop.Loop, structSeed int64) *[]string {
+	rng := rand.New(rand.NewSource(structSeed))
+	log := &[]string{}
+	record := func(ev string) { *log = append(*log, ev) }
+
+	var spawn func(depth, id int)
+	spawn = func(depth, id int) {
+		if depth >= 4 {
+			record(fmt.Sprintf("leaf %d", id))
+			return
+		}
+		switch rng.Intn(6) {
+		case 0:
+			l.NextTick(func() { record(fmt.Sprintf("tick %d/%d", depth, id)); spawn(depth+1, id*10) })
+		case 1:
+			l.SetImmediate(func() { record(fmt.Sprintf("imm %d/%d", depth, id)); spawn(depth+1, id*10+1) })
+		case 2:
+			d := time.Duration(rng.Intn(5)) * time.Millisecond
+			l.SetTimeout(d, func() { record(fmt.Sprintf("timer %d/%d", depth, id)); spawn(depth+1, id*10+2) })
+		case 3:
+			NewPromise(l, func(resolve func(any), _ func(error)) {
+				l.NextTick(func() { resolve(id) })
+			}).Then(func(v any) (any, error) {
+				record(fmt.Sprintf("then %d/%v", depth, v))
+				spawn(depth+1, id*10+3)
+				return nil, nil
+			})
+		case 4:
+			kids := make([]*Promise, 2+rng.Intn(3))
+			for i := range kids {
+				i := i
+				kids[i] = NewPromise(l, func(resolve func(any), reject func(error)) {
+					d := time.Duration(rng.Intn(3)) * time.Millisecond
+					if rng.Intn(4) == 0 {
+						l.SetTimeout(d, func() { reject(fmt.Errorf("kid %d/%d", id, i)) })
+					} else {
+						l.SetTimeout(d, func() { resolve(i) })
+					}
+				})
+			}
+			PromiseAllSettled(l, kids).Then(func(v any) (any, error) {
+				record(fmt.Sprintf("settled %d/%d:%d", depth, id, len(v.([]Settlement))))
+				spawn(depth+1, id*10+4)
+				return nil, nil
+			})
+		case 5:
+			ctrl := NewAbortController(l)
+			pending := NewPromise(l, func(func(any), func(error)) {})
+			pending.WithSignal(ctrl.Signal()).Catch(func(err error) (any, error) {
+				record(fmt.Sprintf("abort %d/%d %v", depth, id, IsAborted(err)))
+				spawn(depth+1, id*10+5)
+				return nil, nil
+			})
+			d := time.Duration(rng.Intn(4)) * time.Millisecond
+			l.SetTimeout(d, func() { ctrl.Abort(nil) })
+		}
+	}
+	for root := 0; root < 6; root++ {
+		spawn(0, root+1)
+	}
+	return log
+}
+
+// TestNestedTickChaosDeterminism runs the chaos tangle twice per (struct
+// seed, scheduler seed) pair under the fuzzing scheduler with virtual
+// time and demands bit-identical event logs: settlement order is a pure
+// function of the seed.
+func TestNestedTickChaosDeterminism(t *testing.T) {
+	structSeeds := []int64{11, 23, 37}
+	schedSeeds := []int64{5, 99}
+	if testing.Short() {
+		structSeeds, schedSeeds = structSeeds[:1], schedSeeds[:1]
+	}
+	run := func(structSeed, schedSeed int64) []string {
+		l := eventloop.New(eventloop.Options{
+			Scheduler: core.NewScheduler(core.StandardParams(), schedSeed),
+			Clock:     vclock.NewVirtual(),
+		})
+		log := buildChaos(l, structSeed)
+		runLoop(t, l)
+		return *log
+	}
+	for _, ss := range structSeeds {
+		for _, fs := range schedSeeds {
+			a := run(ss, fs)
+			b := run(ss, fs)
+			if len(a) == 0 {
+				t.Fatalf("struct seed %d produced an empty log", ss)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("struct seed %d / sched seed %d nondeterministic:\n run1: %q\n run2: %q",
+					ss, fs, a, b)
+			}
+		}
+	}
+}

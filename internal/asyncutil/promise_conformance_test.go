@@ -1,0 +1,379 @@
+package asyncutil
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/vclock"
+)
+
+// The A+-style conformance battery: each case builds a promise graph on a
+// fresh loop, logs observable events, and pins the exact log. Because the
+// NextTick queue drains FIFO under every scheduler (the fuzzer perturbs
+// macrotask phases, never the microtask queue), these logs are
+// schedule-invariant: the battery runs each case under the vanilla
+// scheduler and under the fuzzing scheduler with a virtual clock, and
+// demands bit-identical logs from both.
+type conformanceCase struct {
+	name  string
+	build func(t *testing.T, l *eventloop.Loop, logf func(string, ...any))
+	want  []string
+}
+
+var errConf = errors.New("conf")
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{
+			// A+ 2.1: a settled promise never changes state or value.
+			name: "settle-once",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				p := NewPromise(l, func(resolve func(any), reject func(error)) {
+					resolve("first")
+					resolve("second")
+					reject(errConf)
+				})
+				p.Then(func(v any) (any, error) { logf("then %v", v); return nil, nil })
+				p.Catch(func(err error) (any, error) { logf("catch %v", err); return nil, nil })
+			},
+			want: []string{"then first"},
+		},
+		{
+			// A+ 2.2.4: handlers run as microtasks, after the settling
+			// callback returns but before anything the loop does next —
+			// and FIFO among themselves and interleaved NextTicks.
+			name: "then-vs-nexttick-ordering",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				p := ResolvedPromise(l, 1)
+				l.NextTick(func() { logf("tick-a") })
+				p.Then(func(v any) (any, error) { logf("then-1"); return nil, nil }).
+					Then(func(v any) (any, error) { logf("then-2"); return nil, nil })
+				l.NextTick(func() { logf("tick-b") })
+				logf("sync")
+			},
+			want: []string{"sync", "tick-a", "then-1", "tick-b", "then-2"},
+		},
+		{
+			name: "microtask-before-immediate",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				l.SetImmediate(func() { logf("immediate") })
+				ResolvedPromise(l, nil).
+					Then(func(any) (any, error) { logf("then-1"); return nil, nil }).
+					Then(func(any) (any, error) { logf("then-2"); return nil, nil })
+			},
+			want: []string{"then-1", "then-2", "immediate"},
+		},
+		{
+			// A+ 2.2.7.1 / 2.3.2: a handler returning a promise is adopted;
+			// the chain waits for the inner settlement.
+			name: "then-adopts-returned-promise",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				var release func(any)
+				inner := NewPromise(l, func(resolve func(any), _ func(error)) { release = resolve })
+				ResolvedPromise(l, nil).
+					Then(func(any) (any, error) { logf("outer"); return inner, nil }).
+					Then(func(v any) (any, error) { logf("inner %v", v); return nil, nil })
+				l.NextTick(func() { logf("release"); release("x") })
+			},
+			want: []string{"outer", "release", "inner x"},
+		},
+		{
+			name: "catch-recovery-adopts-returned-promise",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				RejectedPromise(l, errConf).
+					Catch(func(err error) (any, error) { return ResolvedPromise(l, "recovered"), nil }).
+					Then(func(v any) (any, error) { logf("then %v", v); return nil, nil })
+			},
+			want: []string{"then recovered"},
+		},
+		{
+			// Adopting a rejected promise forwards the rejection.
+			name: "adoption-forwards-rejection",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				ResolvedPromise(l, nil).
+					Then(func(any) (any, error) { return RejectedPromise(l, errConf), nil }).
+					Catch(func(err error) (any, error) { logf("catch %v", err); return nil, nil })
+			},
+			want: []string{"catch conf"},
+		},
+		{
+			// A+ 2.3.1: resolving a promise with itself (or a chain that
+			// loops back) rejects with the cycle error.
+			name: "adoption-cycle-rejects",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				var a, b *Promise
+				var resolveA, resolveB func(any)
+				a = NewPromise(l, func(resolve func(any), _ func(error)) { resolveA = resolve })
+				b = NewPromise(l, func(resolve func(any), _ func(error)) { resolveB = resolve })
+				resolveA(b) // a adopts b
+				resolveB(a) // would close the loop: b must reject
+				b.Catch(func(err error) (any, error) { logf("b %v", errors.Is(err, ErrPromiseCycle)); return nil, nil })
+				a.Catch(func(err error) (any, error) { logf("a %v", errors.Is(err, ErrPromiseCycle)); return nil, nil })
+			},
+			want: []string{"b true", "a true"},
+		},
+		{
+			// Resolving with a pending promise locks the resolution in: a
+			// later reject on the outer promise is a no-op.
+			name: "adoption-locks-resolution",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				var release func(any)
+				inner := NewPromise(l, func(resolve func(any), _ func(error)) { release = resolve })
+				outer := NewPromise(l, func(resolve func(any), reject func(error)) {
+					resolve(inner)
+					reject(errConf) // must lose: resolution already locked
+				})
+				outer.Then(func(v any) (any, error) { logf("then %v", v); return nil, nil })
+				outer.Catch(func(err error) (any, error) { logf("catch %v", err); return nil, nil })
+				l.NextTick(func() { release("won") })
+			},
+			want: []string{"then won"},
+		},
+		{
+			// Finally observes both outcomes and passes them through
+			// untouched.
+			name: "finally-pass-through",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				ResolvedPromise(l, "v").
+					Finally(func() { logf("finally-1") }).
+					Then(func(v any) (any, error) { logf("then %v", v); return nil, nil })
+				RejectedPromise(l, errConf).
+					Finally(func() { logf("finally-2") }).
+					Catch(func(err error) (any, error) { logf("catch %v", err); return nil, nil })
+			},
+			want: []string{"finally-1", "finally-2", "then v", "catch conf"},
+		},
+		{
+			name: "late-then-on-settled-promise",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				p := ResolvedPromise(l, 9)
+				l.SetImmediate(func() {
+					p.Then(func(v any) (any, error) { logf("late %v", v); return nil, nil })
+				})
+			},
+			want: []string{"late 9"},
+		},
+		{
+			name: "all-collects-in-input-order",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				var slow func(any)
+				a := NewPromise(l, func(resolve func(any), _ func(error)) { slow = resolve })
+				b := ResolvedPromise(l, "b")
+				PromiseAll(l, []*Promise{a, b}).Then(func(v any) (any, error) {
+					logf("all %v", v)
+					return nil, nil
+				})
+				l.SetImmediate(func() { slow("a") })
+			},
+			want: []string{"all [a b]"},
+		},
+		{
+			name: "all-first-rejection-wins",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				a := ResolvedPromise(l, "a")
+				b := RejectedPromise(l, errConf)
+				PromiseAll(l, []*Promise{a, b}).Catch(func(err error) (any, error) {
+					logf("all %v", err)
+					return nil, nil
+				})
+			},
+			want: []string{"all conf"},
+		},
+		{
+			name: "any-first-fulfillment-wins",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				a := RejectedPromise(l, errConf)
+				var late func(any)
+				b := NewPromise(l, func(resolve func(any), _ func(error)) { late = resolve })
+				PromiseAny(l, []*Promise{a, b}).Then(func(v any) (any, error) {
+					logf("any %v", v)
+					return nil, nil
+				})
+				l.NextTick(func() { late("b") })
+			},
+			want: []string{"any b"},
+		},
+		{
+			name: "any-aggregates-total-rejection",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				e1, e2 := errors.New("e1"), errors.New("e2")
+				PromiseAny(l, []*Promise{RejectedPromise(l, e1), RejectedPromise(l, e2)}).
+					Catch(func(err error) (any, error) {
+						var agg *AggregateError
+						if !errors.As(err, &agg) {
+							logf("not aggregate: %v", err)
+							return nil, nil
+						}
+						logf("agg %v", agg.Errors)
+						return nil, nil
+					})
+			},
+			want: []string{"agg [e1 e2]"},
+		},
+		{
+			name: "any-empty-rejects",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				PromiseAny(l, nil).Catch(func(err error) (any, error) {
+					var agg *AggregateError
+					logf("empty %v", errors.As(err, &agg))
+					return nil, nil
+				})
+			},
+			want: []string{"empty true"},
+		},
+		{
+			name: "allsettled-total-never-rejects",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				PromiseAllSettled(l, []*Promise{
+					ResolvedPromise(l, 1),
+					RejectedPromise(l, errConf),
+				}).Then(func(v any) (any, error) {
+					for _, s := range v.([]Settlement) {
+						logf("%s %v %v", s.Status, s.Value, s.Err)
+					}
+					return nil, nil
+				})
+			},
+			want: []string{"fulfilled 1 <nil>", "rejected <nil> conf"},
+		},
+		{
+			name: "race-first-settlement-wins",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				var slow func(any)
+				a := NewPromise(l, func(resolve func(any), _ func(error)) { slow = resolve })
+				b := ResolvedPromise(l, "fast")
+				PromiseRace(l, []*Promise{a, b}).Then(func(v any) (any, error) {
+					logf("race %v", v)
+					return nil, nil
+				})
+				l.SetImmediate(func() { slow("slow") })
+			},
+			want: []string{"race fast"},
+		},
+		{
+			name: "abort-rejects-dependents",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				ctrl := NewAbortController(l)
+				pending := NewPromise(l, func(func(any), func(error)) {})
+				pending.WithSignal(ctrl.Signal()).Catch(func(err error) (any, error) {
+					logf("aborted=%v reason=%v", IsAborted(err), errors.Unwrap(err.(*AbortError)))
+					return nil, nil
+				})
+				l.NextTick(func() { ctrl.Abort(errConf) })
+				if ctrl.Signal().Aborted() {
+					logf("premature")
+				}
+			},
+			want: []string{"aborted=true reason=conf"},
+		},
+		{
+			name: "abort-loses-to-settlement",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				ctrl := NewAbortController(l)
+				p := ResolvedPromise(l, "done").WithSignal(ctrl.Signal())
+				p.Then(func(v any) (any, error) { logf("then %v", v); return nil, nil })
+				p.Catch(func(err error) (any, error) { logf("catch %v", err); return nil, nil })
+				l.SetImmediate(func() { ctrl.Abort(nil) })
+			},
+			want: []string{"then done"},
+		},
+		{
+			name: "abort-signal-observers",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				ctrl := NewAbortController(l)
+				sig := ctrl.Signal()
+				sig.OnAbort(func(reason error) { logf("early %v", reason) })
+				ctrl.Abort(nil)
+				ctrl.Abort(errConf) // second abort is a no-op
+				sig.OnAbort(func(reason error) { logf("late %v", reason) })
+				logf("aborted=%v", sig.Aborted())
+			},
+			want: []string{"aborted=true", "early " + ErrAborted.Error(), "late " + ErrAborted.Error()},
+		},
+		{
+			name: "unhandled-rejection-tracking",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				r := TrackRejections(l)
+				RejectedPromise(l, errConf)                                           // never handled
+				RejectedPromise(l, errors.New("seen")).Catch(func(err error) (any, error) { return nil, nil }) // handled
+				handledLate := RejectedPromise(l, errors.New("late"))
+				l.SetImmediate(func() {
+					handledLate.Catch(func(err error) (any, error) { return nil, nil })
+				})
+				l.AtExit(func() {
+					for _, u := range r.Unhandled() {
+						logf("unhandled %v", u.Err)
+					}
+					logf("count %d", r.Count())
+				})
+			},
+			want: []string{"unhandled conf", "count 3"},
+		},
+		{
+			name: "combinators-mark-inputs-handled",
+			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
+				r := TrackRejections(l)
+				PromiseAllSettled(l, []*Promise{RejectedPromise(l, errors.New("a"))}).
+					Then(func(any) (any, error) { return nil, nil })
+				PromiseAny(l, []*Promise{RejectedPromise(l, errors.New("b"))}).
+					Catch(func(error) (any, error) { return nil, nil })
+				PromiseRace(l, []*Promise{RejectedPromise(l, errors.New("c"))}).
+					Catch(func(error) (any, error) { return nil, nil })
+				l.AtExit(func() { logf("unhandled %d of %d", len(r.Unhandled()), r.Count()) })
+			},
+			// 3 rejected inputs + the Any and Race results' own rejections,
+			// all with handlers attached.
+			want: []string{"unhandled 0 of 5"},
+		},
+	}
+}
+
+// runConformanceCase executes one case on a fresh loop and returns its log.
+func runConformanceCase(t *testing.T, c conformanceCase, sched eventloop.Scheduler, clk vclock.Clock) []string {
+	t.Helper()
+	l := eventloop.New(eventloop.Options{Scheduler: sched, Clock: clk})
+	var log []string
+	c.build(t, l, func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	})
+	runLoop(t, l)
+	return log
+}
+
+func TestPromiseConformance(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := runConformanceCase(t, c, eventloop.VanillaScheduler{}, nil)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("vanilla log mismatch\n got: %q\nwant: %q", got, c.want)
+			}
+		})
+	}
+}
+
+// TestPromiseConformanceUnderFuzzing replays the battery under the fuzzing
+// scheduler with a virtual clock: promise semantics are microtask-level
+// and must not depend on the macrotask schedule.
+func TestPromiseConformanceUnderFuzzing(t *testing.T) {
+	seeds := []int64{1, 7, 4242}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				sched := core.NewScheduler(core.StandardParams(), seed)
+				got := runConformanceCase(t, c, sched, vclock.NewVirtual())
+				if !reflect.DeepEqual(got, c.want) {
+					t.Fatalf("seed %d log mismatch\n got: %q\nwant: %q", seed, got, c.want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package asyncutil
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"nodefz/internal/core"
+	"nodefz/internal/eventloop"
+	"nodefz/internal/vclock"
+)
+
+// opReader consumes fuzz bytes as a bounded opcode stream; exhausted input
+// yields zeros so every prefix decodes to a valid DAG.
+type opReader struct {
+	data []byte
+	i    int
+}
+
+func (r *opReader) next() int {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return int(b)
+}
+
+// buildCombinatorDAG decodes data into a promise DAG on l: a layer of base
+// promises settled by ticks/timers/immediates, then combinator and chain
+// ops over randomly chosen predecessors (All/Any/Race/AllSettled, Then
+// with adoption, Catch, Finally, WithSignal+Abort). Every node gets a
+// logging pair of handlers so the returned log is the complete settlement
+// history; the DAG's shape depends only on data, never execution order.
+func buildCombinatorDAG(l *eventloop.Loop, data []byte) *[]string {
+	r := &opReader{data: data}
+	log := &[]string{}
+	var ps []*Promise
+
+	observe := func(id int, p *Promise, isAny bool) {
+		p.Then(func(v any) (any, error) {
+			*log = append(*log, fmt.Sprintf("%d fulfilled %v", id, v))
+			return nil, nil
+		})
+		p.Catch(func(err error) (any, error) {
+			if isAny {
+				// Invariant: PromiseAny rejects only with AggregateError.
+				var agg *AggregateError
+				if !errors.As(err, &agg) {
+					*log = append(*log, fmt.Sprintf("%d INVALID-ANY %v", id, err))
+					return nil, nil
+				}
+			}
+			*log = append(*log, fmt.Sprintf("%d rejected %v", id, err))
+			return nil, nil
+		})
+	}
+
+	nbase := 2 + r.next()%6
+	for i := 0; i < nbase; i++ {
+		i := i
+		mode, delay, rejects := r.next()%3, r.next()%5, r.next()%4 == 0
+		p := NewPromise(l, func(resolve func(any), reject func(error)) {
+			settle := func() {
+				if rejects {
+					reject(fmt.Errorf("base-%d", i))
+				} else {
+					resolve(i)
+				}
+			}
+			switch mode {
+			case 0:
+				l.NextTick(settle)
+			case 1:
+				l.SetImmediate(settle)
+			default:
+				l.SetTimeout(time.Duration(delay)*time.Millisecond, settle)
+			}
+		})
+		observe(i, p, false)
+		ps = append(ps, p)
+	}
+
+	subset := func() []*Promise {
+		k := 1 + r.next()%3
+		out := make([]*Promise, 0, k)
+		for j := 0; j < k; j++ {
+			out = append(out, ps[r.next()%len(ps)])
+		}
+		return out
+	}
+
+	nops := r.next() % 20
+	for op := 0; op < nops; op++ {
+		id := len(ps)
+		var p *Promise
+		isAny := false
+		switch r.next() % 8 {
+		case 0:
+			p = PromiseAll(l, subset())
+		case 1:
+			p = PromiseAny(l, subset())
+			isAny = true
+		case 2:
+			p = PromiseRace(l, subset())
+		case 3:
+			p = PromiseAllSettled(l, subset())
+			// Invariant: AllSettled never rejects.
+			p.Catch(func(err error) (any, error) {
+				*log = append(*log, fmt.Sprintf("%d INVALID-ALLSETTLED %v", id, err))
+				return nil, nil
+			})
+		case 4:
+			// Then that returns another node: thenable adoption (and,
+			// when the target is an ancestor, a potential cycle).
+			target := ps[r.next()%len(ps)]
+			p = ps[r.next()%len(ps)].Then(func(any) (any, error) { return target, nil })
+		case 5:
+			p = ps[r.next()%len(ps)].Catch(func(err error) (any, error) { return "recovered", nil })
+		case 6:
+			p = ps[r.next()%len(ps)].Finally(func() {})
+		case 7:
+			ctrl := NewAbortController(l)
+			p = ps[r.next()%len(ps)].WithSignal(ctrl.Signal())
+			d := time.Duration(r.next()%4) * time.Millisecond
+			l.SetTimeout(d, func() { ctrl.Abort(nil) })
+		}
+		observe(id, p, isAny)
+		ps = append(ps, p)
+	}
+	return log
+}
+
+// FuzzPromiseCombinators builds a random combinator DAG from the fuzz
+// input and runs it twice under the fuzzing scheduler with virtual time:
+// the two settlement logs must be bit-identical (trials are pure functions
+// of their seed), no invariant handler may fire, and a vanilla run of the
+// same DAG must settle the same node set (combinator semantics do not
+// depend on the schedule).
+func FuzzPromiseCombinators(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 2, 7, 9, 200, 41, 8}, int64(1))
+	f.Add([]byte{0}, int64(42))
+	f.Add([]byte{255, 254, 253, 13, 77, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, int64(7))
+	f.Fuzz(func(t *testing.T, data []byte, schedSeed int64) {
+		if len(data) > 256 {
+			t.Skip("bounded DAG size")
+		}
+		run := func(sched eventloop.Scheduler) []string {
+			l := eventloop.New(eventloop.Options{Scheduler: sched, Clock: vclock.NewVirtual()})
+			log := buildCombinatorDAG(l, data)
+			done := make(chan error, 1)
+			go func() { done <- l.Run() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("loop did not terminate")
+			}
+			return *log
+		}
+		a := run(core.NewScheduler(core.StandardParams(), schedSeed))
+		b := run(core.NewScheduler(core.StandardParams(), schedSeed))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same seed, different settlement logs:\n run1: %q\n run2: %q", a, b)
+		}
+		for _, ev := range a {
+			if len(ev) > 0 && (containsInvalid(ev)) {
+				t.Fatalf("invariant violation: %q", ev)
+			}
+		}
+		// The settled-node set (though not its order) is schedule-free.
+		vanilla := run(eventloop.VanillaScheduler{})
+		if got, want := settledSet(vanilla), settledSet(a); !reflect.DeepEqual(got, want) {
+			t.Fatalf("settled node sets differ between vanilla and fuzzed runs:\n vanilla: %v\n fuzzed:  %v", got, want)
+		}
+	})
+}
+
+func containsInvalid(ev string) bool {
+	for i := 0; i+7 <= len(ev); i++ {
+		if ev[i:i+7] == "INVALID" {
+			return true
+		}
+	}
+	return false
+}
+
+// settledSet extracts the set of node ids that settled from a log.
+func settledSet(log []string) map[string]bool {
+	out := make(map[string]bool)
+	for _, ev := range log {
+		var id int
+		if _, err := fmt.Sscanf(ev, "%d", &id); err == nil {
+			out[fmt.Sprintf("%d", id)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package asyncutil
+
+import (
+	"fmt"
+
+	"nodefz/internal/eventloop"
+)
+
+// rejectionsKey is the loop-local slot holding the per-loop tracker.
+const rejectionsKey = "asyncutil.rejections"
+
+// UnhandledRejection is one rejected promise that no consumer had observed
+// by the time the tracker was drained — the class of silent failure Node
+// surfaces via the unhandledRejection event, and here a detector signal a
+// harness can gate on like its bug-app detectors.
+type UnhandledRejection struct {
+	Err error
+}
+
+func (u UnhandledRejection) String() string {
+	return fmt.Sprintf("unhandled promise rejection: %v", u.Err)
+}
+
+// Rejections tracks every rejected promise on one loop and reports the
+// ones that never acquired a rejection handler. A promise counts as
+// handled once any rejection-observing consumer is attached — Then, Catch,
+// Finally, adoption, WithSignal, or inclusion in a combinator — even if
+// the handler is attached after the rejection (Node's rejectionHandled
+// semantics: only still-unhandled rejections at observation time count).
+type Rejections struct {
+	rejected []*Promise
+}
+
+// TrackRejections returns the loop's rejection tracker, installing one on
+// first use. Promises rejected before the tracker is installed are not
+// tracked; call it before constructing promises.
+func TrackRejections(l *eventloop.Loop) *Rejections {
+	r, _ := l.LocalOrSet(rejectionsKey, func() any { return &Rejections{} }).(*Rejections)
+	return r
+}
+
+// rejectionsFor returns the loop's tracker if one is installed, else nil.
+// Promise.settle calls this on every rejection; tracking is opt-in.
+func rejectionsFor(l *eventloop.Loop) *Rejections {
+	r, _ := l.Local(rejectionsKey).(*Rejections)
+	return r
+}
+
+func (r *Rejections) add(p *Promise) {
+	if r == nil {
+		return
+	}
+	r.rejected = append(r.rejected, p)
+}
+
+// Unhandled returns the rejections that still have no handler, in
+// rejection order. Meaningful after the loop has drained (e.g. after
+// Run returns); mid-run it is a snapshot.
+func (r *Rejections) Unhandled() []UnhandledRejection {
+	if r == nil {
+		return nil
+	}
+	var out []UnhandledRejection
+	for _, p := range r.rejected {
+		if !p.handled {
+			out = append(out, UnhandledRejection{Err: p.err})
+		}
+	}
+	return out
+}
+
+// Count returns the total number of rejections seen, handled or not.
+func (r *Rejections) Count() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rejected)
+}

@@ -12,8 +12,8 @@ import (
 
 func TestRegistryIntegrity(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("corpus has %d entries, want 16 (12 studied + 3 novel + KUE-2014)", len(all))
+	if len(all) != 18 {
+		t.Fatalf("corpus has %d entries, want 18 (12 studied + 3 novel + KUE-2014 + 2 promise ports)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -40,8 +40,8 @@ func TestRegistryIntegrity(t *testing.T) {
 			t.Errorf("%s should exist and be excluded from Fig 6", excluded)
 		}
 	}
-	if got := len(Fig6Set()); got != 11 {
-		t.Errorf("Fig6Set has %d entries, want 11", got)
+	if got := len(Fig6Set()); got != 13 {
+		t.Errorf("Fig6Set has %d entries, want 13", got)
 	}
 	if ByAbbr("nope") != nil {
 		t.Error("ByAbbr should return nil for unknown abbreviations")
@@ -50,7 +50,8 @@ func TestRegistryIntegrity(t *testing.T) {
 
 func TestTable2Order(t *testing.T) {
 	want := []string{"EPL", "GHO", "FPS", "CLF", "NES", "AKA", "WPT", "SIO",
-		"MKD", "KUE", "RST", "MGS", "SIO-novel", "KUE-novel", "FPS-novel", "KUE-2014"}
+		"MKD", "KUE", "RST", "MGS", "SIO-novel", "KUE-novel", "FPS-novel", "KUE-2014",
+		"RST-prom", "AKA-prom"}
 	all := All()
 	for i, a := range all {
 		if a.Abbr != want[i] {

@@ -1,7 +1,8 @@
 package bugs
 
 // init populates the corpus in Table 2 order: the twelve studied bugs,
-// then the novel bugs (§5.2), then the §5.2.3 race against time.
+// then the novel bugs (§5.2), then the §5.2.3 race against time, then the
+// promise-combinator ports (the §3.4.2 fix surface exercised as workload).
 func init() {
 	registry = []*App{
 		eplApp(),
@@ -20,5 +21,7 @@ func init() {
 		kueNovelApp(),
 		fpsNovelApp(),
 		kueTimeApp(),
+		rstPromApp(),
+		akaPromApp(),
 	}
 }

@@ -48,7 +48,8 @@ func Suite() []Scenario {
 		{"parallel-collects-all", parallelCollects},
 		{"waterfall-threads-results", waterfallThreads},
 	}
-	return append(base, extraSuite()...)
+	base = append(base, extraSuite()...)
+	return append(base, promiseSuite()...)
 }
 
 // RunAll executes every scenario once and returns the failures.

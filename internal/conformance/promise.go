@@ -1,0 +1,244 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nodefz/internal/asyncutil"
+	"nodefz/internal/eventloop"
+)
+
+// promiseSuite checks the promise layer's documented guarantees —
+// microtask-before-macrotask ordering, combinator completion semantics,
+// cancellation, and adoption — under any scheduler; appended to Suite.
+func promiseSuite() []Scenario {
+	return []Scenario{
+		{"promise-microtask-before-immediate", promiseMicrotaskFirst},
+		{"promise-all-collects-in-order", promiseAllOrder},
+		{"promise-any-aggregate", promiseAnyAggregate},
+		{"promise-allsettled-total", promiseAllSettledTotal},
+		{"promise-abort-cancels", promiseAbortCancels},
+		{"promise-adoption-flattens", promiseAdoptionFlattens},
+	}
+}
+
+// promiseMicrotaskFirst: a settlement handler is a microtask; it runs
+// before any immediate registered in the same callback, under any mode.
+func promiseMicrotaskFirst(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	var order []string
+	l.SetImmediate(func() { order = append(order, "immediate") })
+	asyncutil.ResolvedPromise(l, nil).
+		Then(func(any) (any, error) { order = append(order, "then"); return nil, nil })
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	want := []string{"then", "immediate"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		return fmt.Errorf("order = %v, want %v", order, want)
+	}
+	return nil
+}
+
+// promiseAllOrder: PromiseAll's result vector is in input order no matter
+// which input settles first — the commutativity guarantee that makes it a
+// COV fix.
+func promiseAllOrder(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	r := asyncutil.TrackRejections(l)
+	n := 5
+	ps := make([]*asyncutil.Promise, n)
+	for i := range ps {
+		i := i
+		// Stagger deadlines against index order so the fuzzer has real
+		// reorderings to explore.
+		d := time.Duration((seed+int64(i*7))%5) * time.Millisecond
+		ps[i] = asyncutil.NewPromise(l, func(resolve func(any), _ func(error)) {
+			l.SetTimeout(d, func() { resolve(i) })
+		})
+	}
+	var got []any
+	asyncutil.PromiseAll(l, ps).Then(func(v any) (any, error) {
+		got = v.([]any)
+		return nil, nil
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if len(got) != n {
+		return fmt.Errorf("All resolved with %d values, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			return fmt.Errorf("got[%d] = %v, want %d (input order violated)", i, v, i)
+		}
+	}
+	if len(r.Unhandled()) != 0 {
+		return fmt.Errorf("unhandled rejections: %v", r.Unhandled())
+	}
+	return nil
+}
+
+// promiseAnyAggregate: PromiseAny rejects only when every input rejected,
+// and then only with an AggregateError carrying all reasons in input order.
+func promiseAnyAggregate(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	n := 4
+	ps := make([]*asyncutil.Promise, n)
+	for i := range ps {
+		i := i
+		d := time.Duration((seed+int64(i*3))%4) * time.Millisecond
+		ps[i] = asyncutil.NewPromise(l, func(_ func(any), reject func(error)) {
+			l.SetTimeout(d, func() { reject(fmt.Errorf("r%d", i)) })
+		})
+	}
+	var gotErr error
+	fulfilled := false
+	asyncutil.PromiseAny(l, ps).
+		Then(func(any) (any, error) { fulfilled = true; return nil, nil }).
+		Catch(func(err error) (any, error) { gotErr = err; return nil, nil })
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if fulfilled {
+		return errors.New("Any fulfilled though every input rejected")
+	}
+	var agg *asyncutil.AggregateError
+	if !errors.As(gotErr, &agg) {
+		return fmt.Errorf("Any rejected with %T (%v), want *AggregateError", gotErr, gotErr)
+	}
+	if len(agg.Errors) != n {
+		return fmt.Errorf("aggregate carries %d reasons, want %d", len(agg.Errors), n)
+	}
+	for i, e := range agg.Errors {
+		if e == nil || e.Error() != fmt.Sprintf("r%d", i) {
+			return fmt.Errorf("reason[%d] = %v, want r%d (input order violated)", i, e, i)
+		}
+	}
+	return nil
+}
+
+// promiseAllSettledTotal: AllSettled resolves exactly once with one
+// Settlement per input, never rejects, and leaves no rejection unhandled.
+func promiseAllSettledTotal(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	r := asyncutil.TrackRejections(l)
+	n := 6
+	ps := make([]*asyncutil.Promise, n)
+	for i := range ps {
+		i := i
+		d := time.Duration((seed+int64(i*5))%4) * time.Millisecond
+		ps[i] = asyncutil.NewPromise(l, func(resolve func(any), reject func(error)) {
+			l.SetTimeout(d, func() {
+				if i%2 == 1 {
+					reject(fmt.Errorf("odd %d", i))
+				} else {
+					resolve(i)
+				}
+			})
+		})
+	}
+	var outcomes []asyncutil.Settlement
+	rejected := false
+	asyncutil.PromiseAllSettled(l, ps).
+		Then(func(v any) (any, error) { outcomes = v.([]asyncutil.Settlement); return nil, nil }).
+		Catch(func(error) (any, error) { rejected = true; return nil, nil })
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if rejected {
+		return errors.New("AllSettled rejected")
+	}
+	if len(outcomes) != n {
+		return fmt.Errorf("AllSettled reported %d outcomes, want %d", len(outcomes), n)
+	}
+	for i, s := range outcomes {
+		wantStatus := asyncutil.Fulfilled
+		if i%2 == 1 {
+			wantStatus = asyncutil.Rejected
+		}
+		if s.Status != wantStatus {
+			return fmt.Errorf("outcome[%d].Status = %q, want %q", i, s.Status, wantStatus)
+		}
+	}
+	if len(r.Unhandled()) != 0 {
+		return fmt.Errorf("unhandled rejections: %v", r.Unhandled())
+	}
+	return nil
+}
+
+// promiseAbortCancels: aborting releases dependents with a cancellation
+// error exactly once, regardless of how the abort interleaves with other
+// work; an already-settled promise is immune.
+func promiseAbortCancels(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	ctrl := asyncutil.NewAbortController(l)
+	never := asyncutil.NewPromise(l, func(func(any), func(error)) {})
+	settles := 0
+	var gotErr error
+	never.WithSignal(ctrl.Signal()).
+		Then(func(any) (any, error) { settles++; return nil, nil }).
+		Catch(func(err error) (any, error) { settles++; gotErr = err; return nil, nil })
+	done := asyncutil.ResolvedPromise(l, "ok").WithSignal(ctrl.Signal())
+	var immune any
+	done.Then(func(v any) (any, error) { immune = v; return nil, nil })
+	done.Catch(func(err error) (any, error) { return nil, fmt.Errorf("settled promise aborted: %w", err) })
+	l.SetTimeout(time.Duration(seed%3+1)*time.Millisecond, func() {
+		ctrl.Abort(nil)
+		ctrl.Abort(errors.New("second")) // no-op
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if settles != 1 {
+		return fmt.Errorf("dependent settled %d times, want exactly 1", settles)
+	}
+	if !asyncutil.IsAborted(gotErr) {
+		return fmt.Errorf("dependent rejected with %v, want a cancellation error", gotErr)
+	}
+	if immune != "ok" {
+		return fmt.Errorf("already-settled promise did not pass through: %v", immune)
+	}
+	return nil
+}
+
+// promiseAdoptionFlattens: a handler returning a promise is adopted, so a
+// chain built over async stages yields the final value, never a *Promise
+// as a value; a resolution cycle rejects instead of hanging the loop.
+func promiseAdoptionFlattens(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	stage := func(tag string, d time.Duration) *asyncutil.Promise {
+		return asyncutil.NewPromise(l, func(resolve func(any), _ func(error)) {
+			l.SetTimeout(d, func() { resolve(tag) })
+		})
+	}
+	var got any
+	asyncutil.ResolvedPromise(l, nil).
+		Then(func(any) (any, error) { return stage("a", time.Duration(seed%3)*time.Millisecond), nil }).
+		Then(func(v any) (any, error) {
+			if _, isP := v.(*asyncutil.Promise); isP {
+				return nil, errors.New("handler received an unadopted *Promise")
+			}
+			return stage(v.(string)+"b", time.Millisecond), nil
+		}).
+		Then(func(v any) (any, error) { got = v; return nil, nil })
+	var cycleErr error
+	var resolveA, resolveB func(any)
+	a := asyncutil.NewPromise(l, func(r func(any), _ func(error)) { resolveA = r })
+	b := asyncutil.NewPromise(l, func(r func(any), _ func(error)) { resolveB = r })
+	resolveA(b)
+	resolveB(a)
+	b.Catch(func(err error) (any, error) { cycleErr = err; return nil, nil })
+	a.Catch(func(err error) (any, error) { return nil, nil })
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if got != "ab" {
+		return fmt.Errorf("chain yielded %v, want ab", got)
+	}
+	if !errors.Is(cycleErr, asyncutil.ErrPromiseCycle) {
+		return fmt.Errorf("cycle rejected with %v, want ErrPromiseCycle", cycleErr)
+	}
+	return nil
+}

@@ -148,12 +148,22 @@ type Loop struct {
 	phaseFns [numPhases]func()
 	curPhase int
 	atExit   []func()
+
+	// locals is loop-scoped named storage for layers above the loop
+	// (the asyncutil promise layer keeps its unhandled-rejection tracker
+	// here) so per-loop state needs no package-global registry keyed by
+	// loop pointer. Guarded by mu.
+	locals map[string]any
 }
 
 type tickFn struct {
 	label string
 	fn    func()
 	oref  oracle.Ref
+	// xref is an optional second happens-before predecessor (see
+	// NextTickJoin): the promise layer passes the unit that *settled* a
+	// promise, while oref stays the unit that *registered* the callback.
+	xref oracle.Ref
 }
 
 type immediateReq struct {
@@ -508,7 +518,7 @@ func (l *Loop) drainTicks() {
 		}
 		var tok oracle.Token
 		if l.probe != nil {
-			tok = l.probe.Begin(KindTick, t.label, t.oref)
+			tok = l.probe.Begin(KindTick, t.label, t.oref, t.xref)
 		}
 		t.fn()
 		if l.probe != nil {
@@ -858,6 +868,22 @@ func (l *Loop) NextTickNamed(label string, cb func()) {
 	l.wakeup()
 }
 
+// NextTickJoin is NextTickNamed with an extra happens-before predecessor:
+// the tick's oracle unit is ordered after both the registering unit (as
+// always) and the unit named by join. The promise layer uses it so a
+// settlement callback happens-after the callback that settled the promise
+// even when the handler was attached from an unrelated callback — without
+// it, a Then attached after settlement would look concurrent with the
+// value's producer and the oracle would flag phantom races. The zero Ref
+// degrades to plain NextTickNamed.
+func (l *Loop) NextTickJoin(label string, join oracle.Ref, cb func()) {
+	l.mu.Lock()
+	l.ticks = append(l.ticks, tickFn{label: label, fn: cb, oref: l.oracleRef(), xref: join})
+	l.refs++
+	l.mu.Unlock()
+	l.wakeup()
+}
+
 func (l *Loop) runImmediates() {
 	if l.isStopped() {
 		return
@@ -940,3 +966,44 @@ func (l *Loop) QueueWorkLatency(name string, latency time.Duration, fn func() (a
 
 // PoolQueueLen reports the number of worker-pool tasks not yet started.
 func (l *Loop) PoolQueueLen() int { return l.pool.QueueLen() }
+
+// --- loop-local storage ---------------------------------------------------
+
+// SetLocal stores a named loop-scoped value. Safe from any goroutine; nil
+// deletes the entry.
+func (l *Loop) SetLocal(key string, v any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locals == nil {
+		l.locals = make(map[string]any)
+	}
+	if v == nil {
+		delete(l.locals, key)
+		return
+	}
+	l.locals[key] = v
+}
+
+// Local returns the value stored under key, or nil. Safe from any goroutine.
+func (l *Loop) Local(key string) any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.locals[key]
+}
+
+// LocalOrSet returns the value under key, installing mk()'s result first if
+// the key is empty. The check-and-install is atomic, so concurrent callers
+// observe one shared value.
+func (l *Loop) LocalOrSet(key string, mk func() any) any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locals == nil {
+		l.locals = make(map[string]any)
+	}
+	if v, ok := l.locals[key]; ok {
+		return v
+	}
+	v := mk()
+	l.locals[key] = v
+	return v
+}

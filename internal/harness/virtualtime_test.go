@@ -86,6 +86,43 @@ func TestVirtualTimeDeterminism(t *testing.T) {
 	}
 }
 
+// TestVirtualTimeDeterminismSweep is the corpus-wide determinism gate:
+// every app × every Figure-6 mode, run twice with the same seed under a
+// virtual clock, must produce bit-identical decision traces, type
+// schedules, and virtual timestamps. Under -short the sweep keeps the
+// promise-combinator variants (the newest, most microtask-entangled
+// schedules) and relies on TestVirtualTimeDeterminism for the rest.
+func TestVirtualTimeDeterminismSweep(t *testing.T) {
+	apps := bugs.All()
+	if testing.Short() {
+		apps = []*bugs.App{bugs.ByAbbr("RST-prom"), bugs.ByAbbr("AKA-prom")}
+	}
+	for _, app := range apps {
+		app := app
+		for _, mode := range Fig6Modes() {
+			mode := mode
+			t.Run(app.Abbr+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				trace1, types1, stamps1 := runVirtualTrial(t, app.Abbr, mode, 42)
+				if len(types1) == 0 {
+					t.Fatal("trial recorded no callbacks — test is vacuous")
+				}
+				trace2, types2, stamps2 := runVirtualTrial(t, app.Abbr, mode, 42)
+				if !reflect.DeepEqual(trace1, trace2) {
+					t.Fatal("decision trace diverged between identical-seed runs")
+				}
+				if !reflect.DeepEqual(types1, types2) {
+					t.Fatalf("type schedule diverged between identical-seed runs:\n%v\nvs\n%v",
+						types1, types2)
+				}
+				if !reflect.DeepEqual(stamps1, stamps2) {
+					t.Fatal("virtual timestamps diverged between identical-seed runs")
+				}
+			})
+		}
+	}
+}
+
 // TestWallModeRegression: with virtual time off nothing changes — RunConfig
 // with a nil Clock still hands the loop a wall clock, waits consume real
 // time, and trials complete normally.
