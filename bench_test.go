@@ -21,6 +21,7 @@ import (
 	"nodefz/internal/core"
 	"nodefz/internal/emitter"
 	"nodefz/internal/eventloop"
+	"nodefz/internal/fleet"
 	"nodefz/internal/harness"
 	"nodefz/internal/httpsim"
 	"nodefz/internal/loadgen"
@@ -445,5 +446,40 @@ func BenchmarkCorpusAdmit(b *testing.B) {
 			cand[(i*131+k*257)%schedLen] = kinds[(i+k)%len(kinds)]
 		}
 		c.Admit(cand)
+	}
+}
+
+// BenchmarkFleetSlice measures one meta-scheduler step — an allocation
+// decision plus its granted slice of virtual-time trials — against a warm
+// three-campaign fleet. This is the unit of work fzfleet repeats until the
+// global budget drains, so its ns/op bounds fleet throughput.
+func BenchmarkFleetSlice(b *testing.B) {
+	var specs []fleet.Spec
+	for _, abbr := range []string{"SIO", "KUE", "MGS"} {
+		specs = append(specs, fleet.Spec{App: bugs.ByAbbr(abbr)})
+	}
+	f, err := fleet.New(fleet.Config{
+		Specs:        specs,
+		GlobalTrials: 1 << 30, // never the limiting factor
+		SliceTrials:  5,
+		BaseSeed:     1,
+		VirtualTime:  true,
+		Oracle:       true,
+		Coverage:     true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past the cold-start sweep so steady-state picks are measured.
+	for i := 0; i < len(specs); i++ {
+		if _, ok := f.Step(); !ok {
+			b.Fatal("fleet stopped during warm-up")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Step(); !ok {
+			b.Fatal("fleet stopped mid-benchmark")
+		}
 	}
 }

@@ -166,6 +166,9 @@ type Result struct {
 	Errored int
 	// Manifested counts manifesting trials (cumulative).
 	Manifested int
+	// Violating counts trials with at least one oracle report (cumulative;
+	// zero when the oracle is off).
+	Violating int
 	// Watermark is the contiguous completed-trial prefix length.
 	Watermark int
 	// CorpusLen is the final corpus size.
@@ -190,9 +193,38 @@ type ArmResult struct {
 	Manifested int
 }
 
-// Run executes (or resumes) a campaign. It returns an error only for setup
-// and journal problems; trial outcomes are data, not errors.
-func Run(cfg Config) (*Result, error) {
+// Campaign is a fuzzing campaign as a *schedulable unit*: instead of running
+// to completion like Run, it executes in caller-chosen slices of trials
+// (RunRange) between which it is fully pausable and inspectable (Snapshot).
+// The fleet meta-scheduler allocates CPU to campaigns one slice at a time;
+// Run is now a thin wrapper that executes the single slice [0, Trials).
+//
+// A Campaign owns the corpus, bandit, and checkpoint journal across slices,
+// so a trial run in slice 40 sees everything slice 0 learned. Trial
+// identity is positional: trial i always runs seed TrialSeed(BaseSeed, i)
+// no matter which slice (or which process, after a resume) executes it.
+type Campaign struct {
+	cfg      Config
+	run      func(bugs.RunConfig) bugs.Outcome
+	corpus   *Corpus
+	bandit   *UCB
+	journal  *Journal
+	deadline time.Time
+
+	mu            sync.Mutex
+	res           Result
+	completed     map[int]bool       // trial index -> done (resumed or fresh)
+	entries       map[int]TrialEntry // per-trial outcomes (resumed + fresh)
+	armManifested []int
+	minimizeLeft  int
+}
+
+// New builds a campaign in its paused state: configuration is validated, the
+// journal (if any) is loaded and replayed — corpus, bandit, coverage map,
+// and done-set all restored — and the journal is (re)opened for appending.
+// No trial runs until RunRange. Callers must eventually call Finish to
+// write the final checkpoint and release the journal.
+func New(cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	if cfg.App == nil {
 		return nil, errors.New("campaign: Config.App is required")
@@ -219,12 +251,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	corpus := NewCorpus(cfg.NoveltyThreshold, cfg.CorpusCapacity, cfg.ScheduleTruncate)
-	bandit := NewUCB(len(cfg.Arms), cfg.BaseSeed)
-	res := &Result{Trials: cfg.Trials}
+	c := &Campaign{
+		cfg:           cfg,
+		run:           run,
+		corpus:        NewCorpus(cfg.NoveltyThreshold, cfg.CorpusCapacity, cfg.ScheduleTruncate),
+		bandit:        NewUCB(len(cfg.Arms), cfg.BaseSeed),
+		completed:     make(map[int]bool),
+		entries:       make(map[int]TrialEntry),
+		armManifested: make([]int, len(cfg.Arms)),
+		minimizeLeft:  cfg.MinimizeTrials,
+	}
+	c.res.Trials = cfg.Trials
 
 	// Resume: rebuild corpus, bandit, and the done-set from the journal.
-	done := make(map[int]TrialEntry)
 	if cfg.Resume && cfg.CheckpointPath != "" {
 		st, err := LoadJournal(cfg.CheckpointPath)
 		if err != nil {
@@ -240,277 +279,438 @@ func Run(cfg Config) (*Result, error) {
 		sort.Slice(replay, func(i, j int) bool { return replay[i].Trial < replay[j].Trial })
 		for _, e := range replay {
 			if e.Admitted {
-				corpus.Admit(e.Schedule)
+				c.corpus.Admit(e.Schedule)
 			}
 		}
 		for _, e := range replay {
-			corpus.MarkSeen(e.Digest)
-			bandit.Replay(e.Arm, e.Reward)
-			done[e.Trial] = e
+			c.corpus.MarkSeen(e.Digest)
+			c.bandit.Replay(e.Arm, e.Reward)
+			c.completed[e.Trial] = true
+			c.entries[e.Trial] = e
 			if e.Manifested {
-				res.Manifested++
-				if res.FirstNote == "" {
-					res.FirstNote = e.Note
+				c.res.Manifested++
+				if e.Arm >= 0 && e.Arm < len(c.armManifested) {
+					c.armManifested[e.Arm]++
+				}
+				if c.res.FirstNote == "" {
+					c.res.FirstNote = e.Note
 				}
 			}
+			if e.Violations > 0 {
+				c.res.Violating++
+			}
 		}
-		res.Minimized = append(res.Minimized, st.Minimized...)
+		c.res.Minimized = append(c.res.Minimized, st.Minimized...)
 		// Replay journaled coverage contributions so a resumed campaign
 		// neither re-rewards nor re-admits interleavings a previous run
 		// already discovered. Pre-coverage journals carry no such records;
 		// the map simply starts empty.
 		for _, e := range st.Coverage {
-			corpus.SeedCoverage(e.Pairs, e.HBDigest, e.Tuples)
+			c.corpus.SeedCoverage(e.Pairs, e.HBDigest, e.Tuples)
 		}
-		res.Resumed = len(done)
-		res.Done = len(done)
+		c.res.Resumed = len(c.completed)
+		c.res.Done = len(c.completed)
 	}
 
-	var journal *Journal
 	if cfg.CheckpointPath != "" {
 		var err error
-		journal, err = OpenJournal(cfg.CheckpointPath, !cfg.Resume)
+		c.journal, err = OpenJournal(cfg.CheckpointPath, !cfg.Resume)
 		if err != nil {
 			return nil, err
 		}
-		defer journal.Close()
 	}
 
-	var deadline time.Time
 	if cfg.Budget > 0 {
-		deadline = time.Now().Add(cfg.Budget)
+		c.deadline = time.Now().Add(cfg.Budget)
+	}
+	return c, nil
+}
+
+// App returns the campaign's bug application.
+func (c *Campaign) App() *bugs.App { return c.cfg.App }
+
+// Trials returns the configured campaign size.
+func (c *Campaign) Trials() int { return c.cfg.Trials }
+
+// Done reports how many trials have completed (resumed plus fresh).
+func (c *Campaign) Done() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.res.Done
+}
+
+// SliceReport summarizes one RunRange call. Ran/Skipped/Errored/Stopped
+// describe what *this* call did; the yield counters (Done, Admitted,
+// Violating, NewCov, Manifested) describe the per-trial outcomes of every
+// completed trial in the covered range — including trials a previous run
+// completed and this process restored from the journal. Counting restored
+// trials makes a slice's yield a pure function of the trial range and the
+// seeds, so a fleet that was killed mid-slice and resumed computes exactly
+// the yield an uninterrupted fleet would have.
+type SliceReport struct {
+	// From and To bound the covered trial range [From, To).
+	From, To int
+	// Ran counts trials freshly executed by this call; Skipped counts
+	// trials in the range that were already complete.
+	Ran, Skipped int
+	// Errored counts trials that panicked (released, re-run on resume);
+	// Stopped counts trials not started because the budget elapsed.
+	Errored, Stopped int
+	// Done counts completed trials in the range (Ran + Skipped).
+	Done int
+	// Admitted counts range trials whose schedule entered the corpus.
+	Admitted int
+	// Violating counts range trials with at least one oracle report.
+	Violating int
+	// NewCov counts range trials that contributed never-seen interleaving
+	// coverage (a new racing pair, HB digest, or adjacency tuple).
+	NewCov int
+	// Manifested counts range trials on which the bug manifested.
+	Manifested int
+}
+
+// Yield is the slice's marginal-yield signal, the fleet allocator's reward:
+// corpus admissions plus oracle-violating trials plus new-coverage trials,
+// per trial in the range. Zero for an empty range.
+func (r SliceReport) Yield() float64 {
+	n := r.To - r.From
+	if n <= 0 {
+		return 0
+	}
+	return float64(r.Admitted+r.Violating+r.NewCov) / float64(n)
+}
+
+// RunRange executes every not-yet-completed trial with index in [from, to),
+// in index order across the worker pool, and reports the slice's outcome.
+// Ranges may be revisited (completed trials are skipped), so a fleet resume
+// that re-runs a half-finished slice executes only the missing trials.
+func (c *Campaign) RunRange(from, to int) SliceReport {
+	if from < 0 {
+		from = 0
+	}
+	if to > c.cfg.Trials {
+		to = c.cfg.Trials
+	}
+	rep := SliceReport{From: from, To: to}
+	if from >= to {
+		return rep
 	}
 
-	// done is read-only from here on (workers consult it lock-free);
-	// completed tracks this run's progress under mu.
-	completed := make(map[int]bool, len(done))
-	for i := range done {
-		completed[i] = true
+	c.mu.Lock()
+	pending := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		if !c.completed[i] {
+			pending = append(pending, i)
+		}
+	}
+	c.mu.Unlock()
+	rep.Skipped = (to - from) - len(pending)
+
+	if len(pending) > 0 {
+		var cmu sync.Mutex
+		Executor{Workers: c.cfg.Workers}.Run(len(pending), func(j int) {
+			st := c.runTrial(pending[j])
+			cmu.Lock()
+			switch st {
+			case trialRan:
+				rep.Ran++
+			case trialErrored:
+				rep.Errored++
+			case trialStopped:
+				rep.Stopped++
+			}
+			cmu.Unlock()
+		})
 	}
 
-	var (
-		mu           sync.Mutex // guards res, completed, minimize slots
-		minimizeLeft = cfg.MinimizeTrials
-	)
-	armManifested := make([]int, len(cfg.Arms))
+	c.mu.Lock()
+	for i := from; i < to; i++ {
+		e, ok := c.entries[i]
+		if !ok {
+			continue
+		}
+		rep.Done++
+		if e.Admitted {
+			rep.Admitted++
+		}
+		if e.Violations > 0 {
+			rep.Violating++
+		}
+		if e.NewCoverage > 0 {
+			rep.NewCov++
+		}
+		if e.Manifested {
+			rep.Manifested++
+		}
+	}
+	c.mu.Unlock()
+	return rep
+}
 
-	writeCheckpoint := func() {
-		if journal == nil {
-			return
-		}
-		mu.Lock()
-		entry := CheckpointEntry{
-			Type:       "checkpoint",
-			Trials:     cfg.Trials,
-			Done:       res.Done,
-			Watermark:  watermarkOf(completed),
-			Manifested: res.Manifested,
-			CorpusLen:  corpus.Len(),
-			Arms:       bandit.Stats(),
-		}
-		mu.Unlock()
-		if cfg.Coverage {
-			entry.CovPairs, entry.CovDigests, entry.CovTuples = corpus.CoverageStats()
-		}
-		_ = journal.Append(entry)
+type trialStatus int
+
+const (
+	trialRan trialStatus = iota
+	trialErrored
+	trialStopped
+)
+
+// runTrial executes one trial end to end: bandit select, scheduler build,
+// run, corpus admission, reward, journal, metrics, optional minimization.
+func (c *Campaign) runTrial(i int) trialStatus {
+	cfg := c.cfg
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.mu.Lock()
+		c.res.Stopped++
+		c.mu.Unlock()
+		return trialStopped
 	}
 
-	Executor{Workers: cfg.Workers}.Run(cfg.Trials, func(i int) {
-		if _, ok := done[i]; ok {
-			return // completed by a previous run; done is read-only here
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			mu.Lock()
-			res.Stopped++
-			mu.Unlock()
-			return
-		}
+	seed := TrialSeed(cfg.BaseSeed, i)
+	arm := c.bandit.Select()
+	inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
+	recording := core.NewRecording(inner)
+	rec := sched.NewRecorder()
+	runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
+	var tracker *oracle.Tracker
+	if cfg.Oracle {
+		tracker = oracle.New()
+		runCfg.Oracle = tracker
+	}
+	var reg *metrics.Registry
+	if cfg.Metrics != nil {
+		reg = metrics.NewRegistry()
+		runCfg.Metrics = reg
+		runCfg.LagProbeEvery = 2 * time.Millisecond
+	}
 
-		seed := TrialSeed(cfg.BaseSeed, i)
-		arm := bandit.Select()
-		inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
-		recording := core.NewRecording(inner)
-		rec := sched.NewRecorder()
-		runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
-		var tracker *oracle.Tracker
-		if cfg.Oracle {
-			tracker = oracle.New()
-			runCfg.Oracle = tracker
-		}
-		var reg *metrics.Registry
-		if cfg.Metrics != nil {
-			reg = metrics.NewRegistry()
-			runCfg.Metrics = reg
-			runCfg.LagProbeEvery = 2 * time.Millisecond
-		}
+	start := time.Now()
+	out, trialErr := runSafely(c.run, runCfg)
+	elapsed := time.Since(start)
+	if trialErr != nil {
+		// The trial died before producing an outcome: release the
+		// provisional pull Select counted (otherwise the arm's mean is
+		// permanently deflated by a pull that never earned reward) and
+		// journal nothing, so resume re-runs the trial.
+		c.bandit.Release(arm)
+		c.mu.Lock()
+		c.res.Errored++
+		c.mu.Unlock()
+		return trialErrored
+	}
 
-		start := time.Now()
-		out, trialErr := runSafely(run, runCfg)
-		elapsed := time.Since(start)
-		if trialErr != nil {
-			// The trial died before producing an outcome: release the
-			// provisional pull Select counted (otherwise the arm's mean is
-			// permanently deflated by a pull that never earned reward) and
-			// journal nothing, so resume re-runs the trial.
-			bandit.Release(arm)
-			mu.Lock()
-			res.Errored++
-			mu.Unlock()
-			return
-		}
+	types := rec.Types()
+	var cov *oracle.CoverageDigest
+	if cfg.Coverage {
+		d := tracker.Coverage()
+		cov = &d
+	}
+	adm := c.corpus.AdmitWithCoverage(sched.Truncate(types, cfg.ScheduleTruncate), cov)
+	violations := tracker.Reports()
+	var reward float64
+	switch {
+	case cfg.Coverage:
+		// Greybox split: schedule novelty, the detector verdict, the
+		// oracle verdict, and the fraction of the trial's interleaving
+		// coverage the campaign had never seen.
+		reward = 0.3*adm.Novelty + 0.2*b2f(out.Manifested) +
+			0.3*b2f(len(violations) > 0) + 0.2*adm.CoverageNew
+	case cfg.Oracle:
+		// With the oracle attached the reward splits three ways: novelty,
+		// the detector verdict, and the oracle verdict. An oracle report on
+		// a non-manifesting trial marks a schedule that came close — worth
+		// steering the bandit toward.
+		reward = 0.4*adm.Novelty + 0.2*b2f(len(violations) > 0) + 0.4*b2f(out.Manifested)
+	default:
+		reward = 0.5*adm.Novelty + 0.5*b2f(out.Manifested)
+	}
+	c.bandit.Update(arm, reward)
+	if cfg.OracleOut != nil {
+		cfg.OracleOut.WriteTrial(cfg.App.Abbr, "campaign/"+cfg.Arms[arm].Name, i, seed, violations)
+	}
 
-		types := rec.Types()
-		var cov *oracle.CoverageDigest
-		if cfg.Coverage {
-			d := tracker.Coverage()
-			cov = &d
+	entry := TrialEntry{
+		Type:        "trial",
+		Trial:       i,
+		Seed:        seed,
+		Arm:         arm,
+		ArmName:     cfg.Arms[arm].Name,
+		Manifested:  out.Manifested,
+		Note:        out.Note,
+		Novelty:     adm.Novelty,
+		Admitted:    adm.Admitted,
+		Duplicate:   adm.Duplicate,
+		Digest:      sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
+		Reward:      reward,
+		ElapsedMS:   elapsed.Milliseconds(),
+		Violations:  len(violations),
+		NewCoverage: adm.CoverageNew,
+	}
+	if adm.Admitted {
+		entry.Schedule = sched.Truncate(types, cfg.ScheduleTruncate)
+	}
+	var covEntry *CoverageEntry
+	if cfg.Coverage && (len(adm.NewPairs) > 0 || adm.NewHB || len(adm.NewTuples) > 0) {
+		covEntry = &CoverageEntry{
+			Type:   "coverage",
+			Trial:  i,
+			Pairs:  adm.NewPairs,
+			Tuples: adm.NewTuples,
 		}
-		adm := corpus.AdmitWithCoverage(sched.Truncate(types, cfg.ScheduleTruncate), cov)
-		violations := tracker.Reports()
-		var reward float64
-		switch {
-		case cfg.Coverage:
-			// Greybox split: schedule novelty, the detector verdict, the
-			// oracle verdict, and the fraction of the trial's interleaving
-			// coverage the campaign had never seen.
-			reward = 0.3*adm.Novelty + 0.2*b2f(out.Manifested) +
-				0.3*b2f(len(violations) > 0) + 0.2*adm.CoverageNew
-		case cfg.Oracle:
-			// With the oracle attached the reward splits three ways: novelty,
-			// the detector verdict, and the oracle verdict. An oracle report on
-			// a non-manifesting trial marks a schedule that came close — worth
-			// steering the bandit toward.
-			reward = 0.4*adm.Novelty + 0.2*b2f(len(violations) > 0) + 0.4*b2f(out.Manifested)
-		default:
-			reward = 0.5*adm.Novelty + 0.5*b2f(out.Manifested)
+		if adm.NewHB {
+			covEntry.HBDigest = cov.HBDigest
 		}
-		bandit.Update(arm, reward)
-		if cfg.OracleOut != nil {
-			cfg.OracleOut.WriteTrial(cfg.App.Abbr, "campaign/"+cfg.Arms[arm].Name, i, seed, violations)
-		}
+	}
 
-		entry := TrialEntry{
-			Type:        "trial",
-			Trial:       i,
-			Seed:        seed,
-			Arm:         arm,
-			ArmName:     cfg.Arms[arm].Name,
-			Manifested:  out.Manifested,
-			Note:        out.Note,
-			Novelty:     adm.Novelty,
-			Admitted:    adm.Admitted,
-			Duplicate:   adm.Duplicate,
-			Digest:      sched.DigestString(sched.Digest(sched.Truncate(types, cfg.ScheduleTruncate))),
-			Reward:      reward,
-			ElapsedMS:   elapsed.Milliseconds(),
-			Violations:  len(violations),
-			NewCoverage: adm.CoverageNew,
+	var minEntry *MinimizedEntry
+	if out.Manifested {
+		c.mu.Lock()
+		doMin := c.minimizeLeft > 0
+		if doMin {
+			c.minimizeLeft--
 		}
-		if adm.Admitted {
-			entry.Schedule = sched.Truncate(types, cfg.ScheduleTruncate)
-		}
-		var covEntry *CoverageEntry
-		if cfg.Coverage && (len(adm.NewPairs) > 0 || adm.NewHB || len(adm.NewTuples) > 0) {
-			covEntry = &CoverageEntry{
-				Type:   "coverage",
-				Trial:  i,
-				Pairs:  adm.NewPairs,
-				Tuples: adm.NewTuples,
-			}
-			if adm.NewHB {
-				covEntry.HBDigest = cov.HBDigest
-			}
-		}
-
-		var minEntry *MinimizedEntry
-		if out.Manifested {
-			mu.Lock()
-			doMin := minimizeLeft > 0
-			if doMin {
-				minimizeLeft--
-			}
-			mu.Unlock()
-			if doMin {
-				m := MinimizeTrace(run, seed, recording.Trace(), cfg.MinimizeBudget)
-				minEntry = &MinimizedEntry{
-					Type:       "minimized",
-					Trial:      i,
-					Seed:       seed,
-					Original:   m.Original,
-					Minimal:    m.Minimal(),
-					Points:     m.Points,
-					Replays:    m.Replays,
-					Reproduced: m.Reproduced,
-				}
+		c.mu.Unlock()
+		if doMin {
+			m := MinimizeTrace(c.run, seed, recording.Trace(), cfg.MinimizeBudget)
+			minEntry = &MinimizedEntry{
+				Type:       "minimized",
+				Trial:      i,
+				Seed:       seed,
+				Original:   m.Original,
+				Minimal:    m.Minimal(),
+				Points:     m.Points,
+				Replays:    m.Replays,
+				Reproduced: m.Reproduced,
 			}
 		}
+	}
 
-		if journal != nil {
-			_ = journal.Append(entry)
-			if covEntry != nil {
-				_ = journal.Append(*covEntry)
-			}
-			if minEntry != nil {
-				_ = journal.Append(*minEntry)
-			}
-		}
-		if cfg.Metrics != nil {
-			d, _ := core.DecisionsOf(recording)
-			d.FoldInto(reg)
-			_ = cfg.Metrics.Write(metrics.TrialRecord{
-				Bug:         cfg.App.Abbr,
-				Mode:        "campaign/" + cfg.Arms[arm].Name,
-				Seed:        seed,
-				Trial:       i,
-				Manifested:  out.Manifested,
-				Note:        out.Note,
-				Metrics:     reg.Snapshot(),
-				Schedule:    sched.Truncate(types, cfg.ScheduleTruncate),
-				NewCoverage: adm.CoverageNew,
-			})
-		}
-
-		mu.Lock()
-		res.Done++
-		if out.Manifested {
-			res.Manifested++
-			armManifested[arm]++
-			if res.FirstNote == "" {
-				res.FirstNote = out.Note
-			}
+	if c.journal != nil {
+		_ = c.journal.Append(entry)
+		if covEntry != nil {
+			_ = c.journal.Append(*covEntry)
 		}
 		if minEntry != nil {
-			res.Minimized = append(res.Minimized, *minEntry)
+			_ = c.journal.Append(*minEntry)
 		}
-		completed[i] = true
-		doneCount := res.Done
-		mu.Unlock()
+	}
+	if cfg.Metrics != nil {
+		d, _ := core.DecisionsOf(recording)
+		d.FoldInto(reg)
+		_ = cfg.Metrics.Write(metrics.TrialRecord{
+			Bug:         cfg.App.Abbr,
+			Mode:        "campaign/" + cfg.Arms[arm].Name,
+			Seed:        seed,
+			Trial:       i,
+			Manifested:  out.Manifested,
+			Note:        out.Note,
+			Metrics:     reg.Snapshot(),
+			Schedule:    sched.Truncate(types, cfg.ScheduleTruncate),
+			NewCoverage: adm.CoverageNew,
+		})
+	}
 
-		if cfg.Progress != nil {
-			cfg.Progress(entry)
+	c.mu.Lock()
+	c.res.Done++
+	if out.Manifested {
+		c.res.Manifested++
+		c.armManifested[arm]++
+		if c.res.FirstNote == "" {
+			c.res.FirstNote = out.Note
 		}
-		if doneCount%checkpointEvery == 0 {
-			writeCheckpoint()
-		}
-	})
+	}
+	if len(violations) > 0 {
+		c.res.Violating++
+	}
+	if minEntry != nil {
+		c.res.Minimized = append(c.res.Minimized, *minEntry)
+	}
+	c.completed[i] = true
+	c.entries[i] = entry
+	doneCount := c.res.Done
+	c.mu.Unlock()
 
-	res.Watermark = watermarkOf(completed)
-	res.CorpusLen = corpus.Len()
-	if cfg.Coverage {
-		res.CoveragePairs, res.CoverageDigests, res.CoverageTuples = corpus.CoverageStats()
+	if cfg.Progress != nil {
+		cfg.Progress(entry)
 	}
-	stats := bandit.Stats()
-	res.Arms = make([]ArmResult, len(cfg.Arms))
-	for i, a := range cfg.Arms {
-		res.Arms[i] = ArmResult{Name: a.Name, ArmStat: stats[i], Manifested: armManifested[i]}
+	if doneCount%checkpointEvery == 0 {
+		c.writeCheckpoint()
 	}
-	writeCheckpoint()
-	if journal != nil {
-		if err := journal.Err(); err != nil {
-			return res, err
+	return trialRan
+}
+
+func (c *Campaign) writeCheckpoint() {
+	if c.journal == nil {
+		return
+	}
+	c.mu.Lock()
+	entry := CheckpointEntry{
+		Type:       "checkpoint",
+		Trials:     c.cfg.Trials,
+		Done:       c.res.Done,
+		Watermark:  watermarkOf(c.completed),
+		Manifested: c.res.Manifested,
+		CorpusLen:  c.corpus.Len(),
+		Arms:       c.bandit.Stats(),
+	}
+	c.mu.Unlock()
+	if c.cfg.Coverage {
+		entry.CovPairs, entry.CovDigests, entry.CovTuples = c.corpus.CoverageStats()
+	}
+	_ = c.journal.Append(entry)
+}
+
+// Snapshot returns the campaign's cumulative result so far — the fleet
+// dashboard's per-campaign view. Safe to call between (not during) slices.
+func (c *Campaign) Snapshot() Result {
+	c.mu.Lock()
+	res := c.res
+	res.Arms = nil // rebuilt below; the shared slice must not escape
+	res.Minimized = append([]MinimizedEntry(nil), c.res.Minimized...)
+	res.Watermark = watermarkOf(c.completed)
+	c.mu.Unlock()
+	res.CorpusLen = c.corpus.Len()
+	if c.cfg.Coverage {
+		res.CoveragePairs, res.CoverageDigests, res.CoverageTuples = c.corpus.CoverageStats()
+	}
+	stats := c.bandit.Stats()
+	res.Arms = make([]ArmResult, len(c.cfg.Arms))
+	c.mu.Lock()
+	for i, a := range c.cfg.Arms {
+		res.Arms[i] = ArmResult{Name: a.Name, ArmStat: stats[i], Manifested: c.armManifested[i]}
+	}
+	c.mu.Unlock()
+	return res
+}
+
+// Finish writes the final checkpoint, closes the journal, and returns the
+// cumulative result. The campaign must not be used afterwards.
+func (c *Campaign) Finish() (*Result, error) {
+	res := c.Snapshot()
+	c.writeCheckpoint()
+	if c.journal != nil {
+		err := c.journal.Err()
+		cerr := c.journal.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return &res, err
 		}
 	}
-	return res, nil
+	return &res, nil
+}
+
+// Run executes (or resumes) a campaign to completion: it is New, one
+// all-encompassing RunRange slice, and Finish. It returns an error only for
+// setup and journal problems; trial outcomes are data, not errors.
+func Run(cfg Config) (*Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.RunRange(0, c.cfg.Trials)
+	return c.Finish()
 }
 
 // runSafely executes one trial, converting a panic in the app or substrate

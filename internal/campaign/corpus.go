@@ -191,6 +191,17 @@ func (c *Corpus) internTypes(types []string, dst []int32) []int32 {
 // nearest returns the minimum normalized Levenshtein distance from cand to
 // any member and that member's index (1, -1 on an empty corpus), reusing the
 // corpus scratch rows. Caller holds c.mu.
+//
+// The scan is distance-bounded: only a member strictly nearer than the best
+// found so far can change the answer, so each DP after the first runs with
+// limit ≈ best·n and abandons as soon as a whole row exceeds it. Against a
+// corpus whose nearest member is close (the steady state of a long campaign
+// offering mutated variants of its own members), the bound collapses after
+// the first hit and every remaining member costs O(limit·n) instead of
+// O(n·m) — this is what makes million-trial fleet campaigns affordable. The
+// returned (distance, index) pair is bit-identical to an unbounded scan:
+// members are visited in entry order and a skipped member provably could not
+// have improved (or tied) the running best.
 func (c *Corpus) nearest(cand []int32) (float64, int) {
 	best, idx := 1.0, -1
 	for i := range c.entries {
@@ -213,9 +224,23 @@ func (c *Corpus) nearest(cand []int32) (float64, int) {
 		if idx != -1 && float64(diff)/float64(n) >= best {
 			continue
 		}
-		d := float64(c.levenshteinIDs(cand, ids)) / float64(n)
-		if idx == -1 || d < best {
-			best, idx = d, i
+		// Distances up to floor(best·n)+1 are computed exactly; anything
+		// beyond provably satisfies d/n > best and cannot replace the
+		// current nearest. The first member runs unbounded (limit = n is
+		// the distance ceiling).
+		limit := n
+		if idx != -1 {
+			if l := int(best*float64(n)) + 1; l < limit {
+				limit = l
+			}
+		}
+		d := c.levenshteinIDs(cand, ids, limit)
+		if d > limit {
+			continue
+		}
+		dn := float64(d) / float64(n)
+		if idx == -1 || dn < best {
+			best, idx = dn, i
 		}
 	}
 	if idx == -1 {
@@ -225,10 +250,18 @@ func (c *Corpus) nearest(cand []int32) (float64, int) {
 }
 
 // levenshteinIDs is the classic two-row edit-distance DP over interned
-// schedules, running in the corpus's shared scratch rows. Caller holds c.mu.
-func (c *Corpus) levenshteinIDs(a, b []int32) int {
+// schedules, running in the corpus's shared scratch rows, bounded by limit:
+// it returns the exact distance when it is <= limit and limit+1 otherwise.
+// The row minimum of the DP is non-decreasing in the row index (every cell
+// derives from a previous-row or left neighbour by a +0/+1 step), so once an
+// entire row exceeds limit the final distance must too and the scan stops —
+// a far member costs O(limit·m) rather than O(n·m). Caller holds c.mu.
+func (c *Corpus) levenshteinIDs(a, b []int32, limit int) int {
 	if len(a) < len(b) {
 		a, b = b, a
+	}
+	if len(a)-len(b) > limit {
+		return limit + 1
 	}
 	if len(b) == 0 {
 		return len(a)
@@ -243,6 +276,7 @@ func (c *Corpus) levenshteinIDs(a, b []int32) int {
 	}
 	for i := 1; i <= len(a); i++ {
 		cur[0] = i
+		rowMin := i
 		ai := a[i-1]
 		for j := 1; j <= len(b); j++ {
 			best := prev[j-1]
@@ -256,8 +290,15 @@ func (c *Corpus) levenshteinIDs(a, b []int32) int {
 				best = v
 			}
 			cur[j] = best
+			if best < rowMin {
+				rowMin = best
+			}
 		}
 		prev, cur = cur, prev
+		if rowMin > limit {
+			c.dpPrev, c.dpCur = cur, prev
+			return limit + 1
+		}
 	}
 	c.dpPrev, c.dpCur = cur, prev // keep the backing arrays adopted
 	return prev[len(b)]

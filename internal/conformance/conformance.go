@@ -49,6 +49,7 @@ func Suite() []Scenario {
 		{"waterfall-threads-results", waterfallThreads},
 	}
 	base = append(base, extraSuite()...)
+	base = append(base, microtaskSuite()...)
 	return append(base, promiseSuite()...)
 }
 

@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"nodefz/internal/eventloop"
+)
+
+// microtaskSuite checks the queueMicrotask contract: FIFO within the queue,
+// drained after the current callback and before any macrotask, nested
+// microtasks run in the same drain cycle, and microtasks interleave with
+// process.nextTick in registration order (the runtime models one unified
+// microtask queue — a documented fidelity choice, so it is pinned here).
+func microtaskSuite() []Scenario {
+	return []Scenario{
+		{"microtask-fifo", microtaskFIFO},
+		{"microtask-before-macrotask", microtaskBeforeMacrotask},
+		{"microtask-nested-same-cycle", microtaskNested},
+		{"microtask-tick-unified-order", microtaskTickOrder},
+	}
+}
+
+func microtaskFIFO(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	var order []int
+	l.SetTimeout(time.Millisecond, func() {
+		for i := 0; i < 6; i++ {
+			i := i
+			l.QueueMicrotask(func() { order = append(order, i) })
+		}
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if len(order) != 6 {
+		return fmt.Errorf("ran %d/6 microtasks", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			return fmt.Errorf("microtasks out of FIFO order: %v", order)
+		}
+	}
+	return nil
+}
+
+func microtaskBeforeMacrotask(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	var order []string
+	l.SetTimeout(time.Millisecond, func() {
+		l.SetImmediate(func() { order = append(order, "immediate") })
+		l.SetTimeout(0, func() { order = append(order, "timer") })
+		l.QueueMicrotask(func() { order = append(order, "microtask") })
+		order = append(order, "sync")
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	if len(order) != 4 || order[0] != "sync" || order[1] != "microtask" {
+		return fmt.Errorf("order = %v, want microtask right after its scheduling callback", order)
+	}
+	return nil
+}
+
+func microtaskNested(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	var order []string
+	l.SetTimeout(time.Millisecond, func() {
+		l.SetImmediate(func() { order = append(order, "macrotask") })
+		l.QueueMicrotask(func() {
+			order = append(order, "outer")
+			l.QueueMicrotask(func() { order = append(order, "inner") })
+		})
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	want := []string{"outer", "inner", "macrotask"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		return fmt.Errorf("order = %v, want %v (nested microtask must drain before the macrotask)", order, want)
+	}
+	return nil
+}
+
+func microtaskTickOrder(newLoop func() *eventloop.Loop, seed int64) error {
+	l := newLoop()
+	var order []string
+	l.SetTimeout(time.Millisecond, func() {
+		l.NextTick(func() { order = append(order, "tick-1") })
+		l.QueueMicrotask(func() { order = append(order, "micro-1") })
+		l.NextTick(func() { order = append(order, "tick-2") })
+		l.QueueMicrotask(func() { order = append(order, "micro-2") })
+	})
+	if err := runLoop(l); err != nil {
+		return err
+	}
+	want := []string{"tick-1", "micro-1", "tick-2", "micro-2"}
+	if len(order) != 4 {
+		return fmt.Errorf("ran %d/4 callbacks: %v", len(order), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			return fmt.Errorf("order = %v, want %v (unified queue, registration order)", order, want)
+		}
+	}
+	return nil
+}

@@ -884,6 +884,25 @@ func (l *Loop) NextTickJoin(label string, join oracle.Ref, cb func()) {
 	l.wakeup()
 }
 
+// QueueMicrotask schedules cb on the loop's microtask queue — the
+// queueMicrotask API. The runtime models one unified microtask queue:
+// process.nextTick and queueMicrotask entries share it in registration
+// order, so this is a thin veneer over the tick queue that differs only in
+// its schedule label. The guarantees are the microtask contract: cb runs
+// after the current callback returns and before the next macrotask (timer,
+// immediate, I/O event), nested microtasks drain in the same cycle, and the
+// enqueue registers the scheduling unit as a happens-before predecessor
+// with the oracle exactly as NextTick does.
+func (l *Loop) QueueMicrotask(cb func()) { l.QueueMicrotaskNamed("", cb) }
+
+// QueueMicrotaskNamed is QueueMicrotask with a schedule label.
+func (l *Loop) QueueMicrotaskNamed(label string, cb func()) {
+	if label == "" {
+		label = "microtask"
+	}
+	l.NextTickNamed(label, cb)
+}
+
 func (l *Loop) runImmediates() {
 	if l.isStopped() {
 		return

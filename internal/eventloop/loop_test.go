@@ -138,6 +138,43 @@ func TestNextTickRunsBeforeOtherEvents(t *testing.T) {
 	}
 }
 
+func TestQueueMicrotaskRunsBeforeMacrotasksAndRecordsLabel(t *testing.T) {
+	rec := sched.NewRecorder()
+	l := New(Options{Recorder: rec})
+	var order []string
+	l.SetTimeout(time.Millisecond, func() {
+		l.SetImmediate(func() { order = append(order, "immediate") })
+		l.QueueMicrotask(func() {
+			order = append(order, "micro1")
+			l.QueueMicrotask(func() { order = append(order, "micro2") })
+		})
+		l.QueueMicrotaskNamed("flush", func() { order = append(order, "named") })
+		order = append(order, "timer")
+	})
+	run(t, l)
+	want := []string{"timer", "micro1", "named", "micro2", "immediate"}
+	if len(order) != len(want) {
+		t.Fatalf("got %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v want %v", order, want)
+		}
+	}
+	// Microtasks surface in the recorded schedule as tick-queue entries with
+	// their own label, so fuzzed replays and the corpus can tell them apart
+	// from nextTick callbacks.
+	var labels []string
+	for _, e := range rec.Entries() {
+		if e.Label == "microtask" || e.Label == "flush" {
+			labels = append(labels, e.Label)
+		}
+	}
+	if len(labels) != 3 || labels[0] != "microtask" || labels[1] != "flush" || labels[2] != "microtask" {
+		t.Fatalf("recorded microtask labels = %v, want [microtask flush microtask]", labels)
+	}
+}
+
 func TestImmediatesScheduledByImmediatesRunNextIteration(t *testing.T) {
 	rec := sched.NewRecorder()
 	l := New(Options{Recorder: rec})

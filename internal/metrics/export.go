@@ -24,23 +24,17 @@ type TrialRecord struct {
 	NewCoverage float64 `json:"new_coverage,omitempty"`
 }
 
-// JSONLWriter streams TrialRecords as JSON Lines, one record per line. It
-// is safe for concurrent use (the harness runs trials in parallel).
-type JSONLWriter struct {
+// lineWriter is the generic JSONL core shared by the export writers: one
+// JSON record per line, concurrency-safe, with sticky errors (a torn JSONL
+// stream is worse than a short one).
+type lineWriter[T any] struct {
 	mu  sync.Mutex
 	enc *json.Encoder
 	n   int
 	err error
 }
 
-// NewJSONLWriter wraps w. The writer does not close w.
-func NewJSONLWriter(w io.Writer) *JSONLWriter {
-	return &JSONLWriter{enc: json.NewEncoder(w)}
-}
-
-// Write appends one record. After the first error every call returns it
-// without writing further (a torn JSONL stream is worse than a short one).
-func (j *JSONLWriter) Write(rec TrialRecord) error {
+func (j *lineWriter[T]) write(rec T) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
@@ -54,19 +48,38 @@ func (j *JSONLWriter) Write(rec TrialRecord) error {
 	return nil
 }
 
-// Count reports the number of records written so far.
-func (j *JSONLWriter) Count() int {
+func (j *lineWriter[T]) count() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.n
 }
 
-// Err returns the first write error, if any.
-func (j *JSONLWriter) Err() error {
+func (j *lineWriter[T]) firstErr() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
 }
+
+// JSONLWriter streams TrialRecords as JSON Lines, one record per line. It
+// is safe for concurrent use (the harness runs trials in parallel).
+type JSONLWriter struct {
+	lw lineWriter[TrialRecord]
+}
+
+// NewJSONLWriter wraps w. The writer does not close w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{lw: lineWriter[TrialRecord]{enc: json.NewEncoder(w)}}
+}
+
+// Write appends one record. After the first error every call returns it
+// without writing further.
+func (j *JSONLWriter) Write(rec TrialRecord) error { return j.lw.write(rec) }
+
+// Count reports the number of records written so far.
+func (j *JSONLWriter) Count() int { return j.lw.count() }
+
+// Err returns the first write error, if any.
+func (j *JSONLWriter) Err() error { return j.lw.firstErr() }
 
 // ReadJSONL parses a JSONL stream back into records — the offline half of
 // the export path, used by tests and analysis tooling.
