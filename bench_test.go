@@ -26,9 +26,9 @@ import (
 	"nodefz/internal/httpsim"
 	"nodefz/internal/loadgen"
 	"nodefz/internal/metrics"
+	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 	"nodefz/internal/simnet"
-	"nodefz/internal/vclock"
 )
 
 // --- Tables 1-3 -----------------------------------------------------------
@@ -372,30 +372,68 @@ func BenchmarkLoopTimersInstrumented(b *testing.B) {
 
 // BenchmarkTrialVirtualVsWall runs the same timer-heavy fuzzing trial under
 // the wall clock and under the virtual clock. The wall run pays real time
-// for network latency, injected delays, and detector timers; the virtual run
-// jumps straight to each deadline. The ratio between the two ns/op IS the
-// campaign speedup from -virtual-time.
+// for network latency, injected delays, and detector timers; the virtual
+// run jumps straight to each deadline. The ratio between the two ns/op IS
+// the campaign speedup from -virtual-time. The virtual arm runs the way the
+// campaign actually runs virtual-time trials: one trial arena per worker,
+// reset between trials, rather than rebuilding the loop/pool/clock world
+// from scratch every seed.
 func BenchmarkTrialVirtualVsWall(b *testing.B) {
 	app := bugs.ByAbbr("SIO")
-	for _, virtual := range []bool{false, true} {
-		virtual := virtual
-		name := "wall"
-		if virtual {
-			name = "virtual"
+	b.Run("wall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := int64(i + 1)
+			app.Run(bugs.RunConfig{
+				Seed:      seed,
+				Scheduler: harness.SchedulerFor(harness.ModeFZ, seed),
+			})
 		}
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				seed := int64(i + 1)
-				cfg := bugs.RunConfig{
-					Seed:      seed,
-					Scheduler: harness.SchedulerFor(harness.ModeFZ, seed),
-				}
-				if virtual {
-					cfg.Clock = vclock.NewVirtual()
-				}
-				app.Run(cfg)
-			}
-		})
+	})
+	b.Run("virtual", func(b *testing.B) {
+		arena := bugs.NewArena(false)
+		sc := core.NewScheduler(core.StandardParams(), 1)
+		run := func(seed int64) {
+			sc.Reseed(core.StandardParams(), seed)
+			app.Run(arena.Begin(bugs.RunConfig{Seed: seed, Scheduler: sc}))
+		}
+		run(1) // build the arena world outside the measured window
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(int64(i + 2))
+		}
+	})
+}
+
+// BenchmarkTrialReset measures one trial through a reused arena world — the
+// steady state every campaign worker runs in under virtual time: reseed the
+// scheduler, reset the recorder/trace/oracle, Begin the arena, run the app.
+// Its ratio to BenchmarkTrialVirtualVsWall/virtual (the build-everything
+// path) is the tentpole's headline number.
+func BenchmarkTrialReset(b *testing.B) {
+	app := bugs.ByAbbr("SIO")
+	arena := bugs.NewArena(false)
+	inner := core.NewScheduler(core.StandardParams(), 1)
+	recording := core.NewRecording(inner)
+	rec := sched.NewRecorder()
+	tracker := oracle.New()
+	run := func(seed int64) {
+		inner.Reseed(core.StandardParams(), seed)
+		recording.Reset()
+		rec.Reset()
+		tracker.Reset()
+		app.Run(arena.Begin(bugs.RunConfig{
+			Seed:      seed,
+			Scheduler: recording,
+			Recorder:  rec,
+			Oracle:    tracker,
+		}))
+	}
+	run(1) // build the world outside the measured window
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(int64(i + 2))
 	}
 }
 

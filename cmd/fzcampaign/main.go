@@ -28,6 +28,7 @@ import (
 	"nodefz/internal/campaign"
 	"nodefz/internal/metrics"
 	"nodefz/internal/oracle"
+	"nodefz/internal/profiling"
 )
 
 func main() {
@@ -52,8 +53,18 @@ func main() {
 		orc        = flag.Bool("oracle", false, "attach the happens-before oracle to each trial (violation counts journaled, reward signal)")
 		orcOut     = flag.String("oracle-out", "", "write oracle violation JSONL to FILE (implies -oracle)")
 		coverage   = flag.Bool("coverage", false, "interleaving-coverage feedback: coverage-based corpus admission and bandit reward (implies -oracle)")
+		noArena    = flag.Bool("no-arena", false, "disable per-worker trial arenas: rebuild the trial world from scratch every trial")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the campaign to FILE")
+		memProf    = flag.String("memprofile", "", "write a heap profile at campaign end to FILE")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Printf("%-11s %-6s %-9s %-10s %s\n", "abbr", "race", "events", "issue", "name")
@@ -80,7 +91,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		metW = metrics.NewJSONLWriter(f)
+		// Buffered: at arena trial rates one syscall per record is real
+		// cost. The campaign flushes at every checkpoint and at Finish.
+		metW = metrics.NewBufferedJSONLWriter(f)
 	}
 
 	var repW *oracle.ReportWriter
@@ -114,6 +127,7 @@ func main() {
 		Oracle:           *orc,
 		OracleOut:        repW,
 		Coverage:         *coverage,
+		NoArena:          *noArena,
 	}
 	if !*quiet {
 		cfg.Progress = func(e campaign.TrialEntry) {
@@ -138,6 +152,7 @@ func main() {
 
 	start := time.Now()
 	res, err := campaign.Run(cfg)
+	stopProf() // flush profiles before any of the explicit exit paths below
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -32,6 +32,7 @@ import (
 	"nodefz/internal/fleet"
 	"nodefz/internal/metrics"
 	"nodefz/internal/oracle"
+	"nodefz/internal/profiling"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 		orc       = flag.Bool("oracle", false, "attach the happens-before oracle to every trial")
 		orcOut    = flag.String("oracle-out", "", "write oracle violation JSONL to FILE (implies -oracle)")
 		coverage  = flag.Bool("coverage", false, "interleaving-coverage feedback in every campaign (implies -oracle)")
+		noArena   = flag.Bool("no-arena", false, "disable per-worker trial arenas in every campaign")
 		dir       = flag.String("dir", "", "checkpoint directory (fleet journal + one campaign journal per app)")
 		resume    = flag.Bool("resume", false, "resume the fleet from -dir instead of starting fresh")
 		metOut    = flag.String("metrics", "", "append per-trial JSONL metrics for every campaign to FILE")
@@ -60,8 +62,17 @@ func main() {
 		dashEvery = flag.Int("dashboard-every", fleet.DefaultDashboardEvery, "slices between dashboard emissions")
 		maxSlices = flag.Int("max-slices", 0, "pause (resumably) after N slices this run (0 = run to budget)")
 		quiet     = flag.Bool("q", false, "suppress per-slice progress lines")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the fleet to FILE")
+		memProf   = flag.String("memprofile", "", "write a heap profile at fleet end to FILE")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Printf("%-11s %-6s %-9s %-10s %s\n", "abbr", "race", "events", "issue", "name")
@@ -100,7 +111,9 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		metW = metrics.NewJSONLWriter(f)
+		// Buffered: every child campaign flushes at its checkpoints and
+		// at Finish, so a kill loses at most what the journals also lost.
+		metW = metrics.NewBufferedJSONLWriter(f)
 	}
 	var repW *oracle.ReportWriter
 	if *orcOut != "" {
@@ -150,6 +163,7 @@ func main() {
 		VirtualTime:      *vtime,
 		Oracle:           *orc,
 		Coverage:         *coverage,
+		NoArena:          *noArena,
 		Dir:              *dir,
 		Resume:           *resume,
 		Metrics:          metW,
@@ -177,6 +191,7 @@ func main() {
 
 	start := time.Now()
 	res, err := fleet.Run(cfg)
+	stopProf() // flush profiles before any of the explicit exit paths below
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

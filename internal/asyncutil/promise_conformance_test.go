@@ -298,7 +298,7 @@ func conformanceCases() []conformanceCase {
 			name: "unhandled-rejection-tracking",
 			build: func(t *testing.T, l *eventloop.Loop, logf func(string, ...any)) {
 				r := TrackRejections(l)
-				RejectedPromise(l, errConf)                                           // never handled
+				RejectedPromise(l, errConf)                                                                    // never handled
 				RejectedPromise(l, errors.New("seen")).Catch(func(err error) (any, error) { return nil, nil }) // handled
 				handledLate := RejectedPromise(l, errors.New("late"))
 				l.SetImmediate(func() {

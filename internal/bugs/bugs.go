@@ -62,6 +62,10 @@ type RunConfig struct {
 	// without the app's own assertion firing. Nil leaves every hook a
 	// no-op.
 	Oracle *oracle.Tracker
+	// Arena, when non-nil, is the reusable trial world this run draws its
+	// loop, network, and FS-noise binding from instead of building fresh
+	// ones (see Arena). Set by Arena.Begin; single-shot paths leave it nil.
+	Arena *Arena
 }
 
 // virtualTime is the process-wide default clock mode, set by the CLIs'
@@ -87,8 +91,14 @@ func TrialClock() vclock.Clock {
 	return nil
 }
 
-// NewLoop builds the event loop for a trial.
+// NewLoop builds the event loop for a trial — or, when the trial runs in an
+// arena, hands back the arena's resident loop reset for this trial.
 func (cfg RunConfig) NewLoop() *eventloop.Loop {
+	if cfg.Arena != nil {
+		if l := cfg.Arena.acquireLoop(cfg); l != nil {
+			return l
+		}
+	}
 	if r, ok := cfg.Recorder.(*sched.Recorder); ok && r != nil && cfg.Clock != nil {
 		// Stamp schedule entries with the trial clock: under virtual time a
 		// wall timestamp is the one nondeterministic bit left in a trace.
@@ -115,13 +125,19 @@ func (cfg RunConfig) NewLoop() *eventloop.Loop {
 // about a millisecond, so every meaningful interval in the corpus sits
 // well above that granularity.
 func (cfg RunConfig) NewNet() *simnet.Network {
-	return simnet.New(simnet.Config{
+	conf := simnet.Config{
 		Seed:       cfg.Seed,
 		MinLatency: 1 * time.Millisecond,
 		MaxLatency: 2500 * time.Microsecond,
 		Clock:      cfg.Clock,
 		Probe:      cfg.Oracle,
-	})
+	}
+	if cfg.Arena != nil {
+		if n := cfg.Arena.acquireNet(conf); n != nil {
+			return n
+		}
+	}
+	return simnet.New(conf)
 }
 
 // FSLatency is the base service time for asynchronous filesystem
@@ -152,11 +168,17 @@ func AddTimerNoise(l *eventloop.Loop, every, until time.Duration) {
 // picking (Table 3, worker DoF) can hold an application operation back
 // behind them.
 func AddFSNoise(l *eventloop.Loop, seed int64, every, until time.Duration) {
-	noiseFS := simfs.New()
-	if err := noiseFS.Create("/noise"); err != nil {
+	var fsa *simfs.Async
+	if a := arenaOf(l); a != nil {
+		fsa = a.acquireNoise(l, 500*time.Microsecond, seed)
+	}
+	if fsa == nil {
+		noiseFS := simfs.New()
+		fsa = simfs.Bind(l, noiseFS, 500*time.Microsecond, seed)
+	}
+	if err := fsa.FS().Create("/noise"); err != nil {
 		panic(err)
 	}
-	fsa := simfs.Bind(l, noiseFS, 500*time.Microsecond, seed)
 	deadline := l.Clock().Now().Add(until)
 	var tick *eventloop.Timer
 	tick = l.SetIntervalNamed("fs-noise", every, func() {

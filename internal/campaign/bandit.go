@@ -3,6 +3,8 @@ package campaign
 import (
 	"math"
 	"math/rand"
+
+	"nodefz/internal/frand"
 	"sync"
 
 	"nodefz/internal/core"
@@ -72,7 +74,7 @@ func (s ArmStat) Mean() float64 {
 // NewUCB builds a bandit over n arms with a seeded tie-break RNG.
 func NewUCB(n int, seed int64) *UCB {
 	return &UCB{
-		rng:   rand.New(rand.NewSource(seed)),
+		rng:   frand.New(seed),
 		pulls: make([]int, n),
 		sum:   make([]float64, n),
 	}

@@ -54,6 +54,14 @@ type Config struct {
 	// still reports wall time.
 	VirtualTime bool
 
+	// NoArena disables per-worker trial arenas: every trial rebuilds its
+	// full world (loop, worker pool, network, clock, registry) the way
+	// single-shot runs do, instead of resetting a reusable one in place.
+	// Arenas only engage under virtual time, where they are required to be
+	// behavior-identical; this switch exists for the differential tests
+	// that prove it and as a debugging escape hatch.
+	NoArena bool
+
 	// NoveltyThreshold is the corpus admission threshold (0 means
 	// DefaultNoveltyThreshold; negative means literally 0, admit any
 	// non-duplicate).
@@ -217,6 +225,22 @@ type Campaign struct {
 	entries       map[int]TrialEntry // per-trial outcomes (resumed + fresh)
 	armManifested []int
 	minimizeLeft  int
+	worlds        []*world // per-worker reusable trial worlds, across slices
+}
+
+// world is one executor worker's reusable trial machinery: the arena (loop,
+// worker pool, network, clock, metrics registry) plus the campaign-side
+// collaborators — scheduler, trace recorder, schedule recorder, oracle —
+// that are reset in lockstep with it each trial. A world is pinned to one
+// worker index, so at most one trial touches it at a time, and it survives
+// across RunRange slices: a fleet running a campaign in forty slices still
+// builds each worker's loop exactly once.
+type world struct {
+	arena     *bugs.Arena
+	inner     *core.Scheduler
+	recording *core.RecordingScheduler
+	rec       *sched.Recorder
+	tracker   *oracle.Tracker
 }
 
 // New builds a campaign in its paused state: configuration is validated, the
@@ -408,8 +432,14 @@ func (c *Campaign) RunRange(from, to int) SliceReport {
 
 	if len(pending) > 0 {
 		var cmu sync.Mutex
-		Executor{Workers: c.cfg.Workers}.Run(len(pending), func(j int) {
-			st := c.runTrial(pending[j])
+		ex := Executor{Workers: c.cfg.Workers}
+		worlds := c.acquireWorlds(ex.WorkerCount(len(pending)))
+		ex.RunIndexed(len(pending), func(wk, j int) {
+			var w *world
+			if worlds != nil {
+				w = worlds[wk]
+			}
+			st := c.runTrial(pending[j], w)
 			cmu.Lock()
 			switch st {
 			case trialRan:
@@ -447,6 +477,21 @@ func (c *Campaign) RunRange(from, to int) SliceReport {
 	return rep
 }
 
+// acquireWorlds returns the per-worker reusable trial worlds for a slice
+// using w workers, growing the campaign's pool on first need; nil when
+// arenas are disabled (wall-time trials, or Config.NoArena).
+func (c *Campaign) acquireWorlds(w int) []*world {
+	if c.cfg.NoArena || !(c.cfg.VirtualTime || bugs.VirtualTimeEnabled()) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.worlds) < w {
+		c.worlds = append(c.worlds, &world{})
+	}
+	return c.worlds[:w]
+}
+
 type trialStatus int
 
 const (
@@ -457,7 +502,10 @@ const (
 
 // runTrial executes one trial end to end: bandit select, scheduler build,
 // run, corpus admission, reward, journal, metrics, optional minimization.
-func (c *Campaign) runTrial(i int) trialStatus {
+// w, when non-nil, is the calling worker's reusable world: the trial resets
+// and reuses its machinery instead of building fresh; nil (wall time,
+// NoArena) keeps the historical build-everything path.
+func (c *Campaign) runTrial(i int, w *world) trialStatus {
 	cfg := c.cfg
 	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
 		c.mu.Lock()
@@ -468,20 +516,53 @@ func (c *Campaign) runTrial(i int) trialStatus {
 
 	seed := TrialSeed(cfg.BaseSeed, i)
 	arm := c.bandit.Select()
-	inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
-	recording := core.NewRecording(inner)
-	rec := sched.NewRecorder()
-	runCfg := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
-	var tracker *oracle.Tracker
-	if cfg.Oracle {
-		tracker = oracle.New()
-		runCfg.Oracle = tracker
-	}
-	var reg *metrics.Registry
-	if cfg.Metrics != nil {
-		reg = metrics.NewRegistry()
-		runCfg.Metrics = reg
-		runCfg.LagProbeEvery = 2 * time.Millisecond
+	var (
+		recording *core.RecordingScheduler
+		rec       *sched.Recorder
+		tracker   *oracle.Tracker
+		reg       *metrics.Registry
+		runCfg    bugs.RunConfig
+	)
+	if w != nil {
+		if w.inner == nil {
+			w.inner = core.NewScheduler(cfg.Arms[arm].Params, seed)
+			w.recording = core.NewRecording(w.inner)
+			w.rec = sched.NewRecorder()
+			if cfg.Oracle {
+				w.tracker = oracle.New()
+			}
+			if w.arena == nil {
+				w.arena = bugs.NewArena(cfg.Metrics != nil)
+			}
+		} else {
+			w.inner.Reseed(cfg.Arms[arm].Params, seed)
+			w.recording.Reset()
+			w.rec.Reset()
+			if w.tracker != nil {
+				w.tracker.Reset()
+			}
+		}
+		recording, rec, tracker = w.recording, w.rec, w.tracker
+		rc := bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Oracle: tracker}
+		if cfg.Metrics != nil {
+			rc.LagProbeEvery = 2 * time.Millisecond
+		}
+		runCfg = w.arena.Begin(rc)
+		reg = w.arena.Registry()
+	} else {
+		inner := core.NewScheduler(cfg.Arms[arm].Params, seed)
+		recording = core.NewRecording(inner)
+		rec = sched.NewRecorder()
+		runCfg = bugs.RunConfig{Seed: seed, Scheduler: recording, Recorder: rec, Clock: trialClock(cfg.VirtualTime)}
+		if cfg.Oracle {
+			tracker = oracle.New()
+			runCfg.Oracle = tracker
+		}
+		if cfg.Metrics != nil {
+			reg = metrics.NewRegistry()
+			runCfg.Metrics = reg
+			runCfg.LagProbeEvery = 2 * time.Millisecond
+		}
 	}
 
 	start := time.Now()
@@ -491,7 +572,14 @@ func (c *Campaign) runTrial(i int) trialStatus {
 		// The trial died before producing an outcome: release the
 		// provisional pull Select counted (otherwise the arm's mean is
 		// permanently deflated by a pull that never earned reward) and
-		// journal nothing, so resume re-runs the trial.
+		// journal nothing, so resume re-runs the trial. A panicked trial
+		// also leaves a reusable world in an unknown state, so the arena
+		// and its collaborators are discarded; the worker's next trial
+		// rebuilds from scratch.
+		if w != nil {
+			w.arena.Discard()
+			w.inner, w.recording, w.rec, w.tracker = nil, nil, nil, nil
+		}
 		c.bandit.Release(arm)
 		c.mu.Lock()
 		c.res.Errored++
@@ -640,6 +728,12 @@ func (c *Campaign) runTrial(i int) trialStatus {
 }
 
 func (c *Campaign) writeCheckpoint() {
+	// The checkpoint is the campaign's durability boundary: push any
+	// buffered metrics lines out with it, so a killed campaign's metrics
+	// stream is current up to the last checkpoint the journal shows.
+	if c.cfg.Metrics != nil {
+		_ = c.cfg.Metrics.Flush()
+	}
 	if c.journal == nil {
 		return
 	}

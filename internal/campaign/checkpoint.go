@@ -99,6 +99,7 @@ type Journal struct {
 	mu  sync.Mutex
 	f   *os.File
 	w   *bufio.Writer
+	enc *json.Encoder // encodes straight into w; reuses its scratch across records
 	err error
 }
 
@@ -122,7 +123,8 @@ func OpenJournal(path string, truncate bool) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f, w: bufio.NewWriter(f)}, nil
+	w := bufio.NewWriter(f)
+	return &Journal{f: f, w: w, enc: json.NewEncoder(w)}, nil
 }
 
 // truncateTornTail truncates path to the end of its last newline-terminated
@@ -177,13 +179,10 @@ func (j *Journal) Append(rec any) error {
 	if j.err != nil {
 		return j.err
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		j.err = err
-		return err
-	}
-	b = append(b, '\n')
-	if _, err := j.w.Write(b); err != nil {
+	// Encode marshals into the encoder's pooled scratch and writes the
+	// record plus trailing newline into the buffered writer — no per-record
+	// output buffer. A marshal error writes nothing.
+	if err := j.enc.Encode(rec); err != nil {
 		j.err = err
 		return err
 	}

@@ -32,9 +32,12 @@ type Executor struct {
 // calling goroutine, so a single-worker run is bit-identical to the
 // historical sequential path.
 func (e Executor) Run(n int, job func(i int)) {
-	if n <= 0 {
-		return
-	}
+	e.RunIndexed(n, func(_, i int) { job(i) })
+}
+
+// WorkerCount reports the number of workers Run/RunIndexed would use for n
+// jobs — the upper bound on the worker index jobs observe.
+func (e Executor) WorkerCount(n int) int {
 	w := e.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -42,9 +45,24 @@ func (e Executor) Run(n int, job func(i int)) {
 	if w > n {
 		w = n
 	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunIndexed is Run with worker identity: job i receives (worker, i), where
+// worker is a stable index in [0, WorkerCount(n)). Jobs sharing a worker
+// index never overlap in time, which is what lets the campaign pin one
+// reusable trial arena to each worker.
+func (e Executor) RunIndexed(n int, job func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.WorkerCount(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			job(i)
+			job(0, i)
 		}
 		return
 	}
@@ -52,12 +70,12 @@ func (e Executor) Run(n int, job func(i int)) {
 	next := make(chan int)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				job(i)
+				job(worker, i)
 			}
-		}()
+		}(k)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

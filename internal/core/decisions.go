@@ -111,6 +111,20 @@ type decisions struct {
 	lookaheadPicks     atomic.Int64
 }
 
+func (d *decisions) reset() {
+	d.timerCalls.Store(0)
+	d.timersRun.Store(0)
+	d.timersDeferred.Store(0)
+	d.timerShortCircuits.Store(0)
+	d.shuffleCalls.Store(0)
+	d.eventsShuffled.Store(0)
+	d.eventsDeferred.Store(0)
+	d.closeCalls.Store(0)
+	d.closesDeferred.Store(0)
+	d.pickCalls.Store(0)
+	d.lookaheadPicks.Store(0)
+}
+
 func (d *decisions) snapshot() DecisionCounters {
 	return DecisionCounters{
 		TimerCalls:         d.timerCalls.Load(),

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+
+	"nodefz/internal/frand"
 	"sync"
 	"time"
 
@@ -29,6 +31,14 @@ type Scheduler struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	// ShuffleReady scratch, guarded by mu. The returned run/deferred slices
+	// alias these buffers and are only valid until the next ShuffleReady
+	// call — the event loop consumes them within the poll phase that asked.
+	shufScratch []*eventloop.Event
+	remScratch  []*eventloop.Event
+	runScratch  []*eventloop.Event
+	defScratch  []*eventloop.Event
 
 	dec decisions // lock-free decision counters, read via Decisions
 }
@@ -61,8 +71,31 @@ func newNamed(name string, params Params, seed int64) *Scheduler {
 	return &Scheduler{
 		params: params,
 		name:   name,
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    frand.New(seed),
 	}
+}
+
+// Reseed re-arms the scheduler in place for a new trial: new parameters,
+// a freshly seeded decision stream, and zeroed decision counters. The name
+// is kept. Reseeding is bit-identical to building a new scheduler with
+// NewScheduler(params, seed) — frand.Source.Seed restores exactly the
+// state NewSource(seed) starts from — which is what lets a trial arena
+// keep one scheduler across trials without perturbing any schedule.
+func (s *Scheduler) Reseed(params Params, seed int64) {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	s.mu.Lock()
+	s.params = params
+	s.rng.Seed(seed)
+	// Drop stale event pointers so a finished trial's events don't outlive
+	// it through the scratch backing arrays.
+	clear(s.shufScratch[:cap(s.shufScratch)])
+	clear(s.remScratch[:cap(s.remScratch)])
+	clear(s.runScratch[:cap(s.runScratch)])
+	clear(s.defScratch[:cap(s.defScratch)])
+	s.mu.Unlock()
+	s.dec.reset()
 }
 
 // Params returns the scheduler's parameterization.
@@ -132,12 +165,12 @@ func (s *Scheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eve
 	if n == 0 {
 		return nil, nil
 	}
-	shuffled := make([]*eventloop.Event, 0, n)
-	remaining := make([]*eventloop.Event, n)
-	copy(remaining, ready)
-
 	s.mu.Lock()
+	remaining := append(s.remScratch[:0], ready...)
+	s.remScratch = remaining
+	var shuffled []*eventloop.Event
 	if s.params.EpollDoF != 0 {
+		shuffled = s.shufScratch[:0]
 		for len(remaining) > 0 {
 			w := len(remaining)
 			if s.params.EpollDoF > 0 && s.params.EpollDoF+1 < w {
@@ -147,9 +180,12 @@ func (s *Scheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eve
 			shuffled = append(shuffled, remaining[i])
 			remaining = append(remaining[:i], remaining[i+1:]...)
 		}
+		s.shufScratch = shuffled
 	} else {
 		shuffled = remaining
 	}
+	run = s.runScratch[:0]
+	deferredScratch := s.defScratch[:0]
 	pct := s.params.EpollDeferralPct
 	for _, ev := range shuffled {
 		deferThis := false
@@ -157,10 +193,15 @@ func (s *Scheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eve
 			deferThis = true
 		}
 		if deferThis {
-			deferred = append(deferred, ev)
+			deferredScratch = append(deferredScratch, ev)
 		} else {
 			run = append(run, ev)
 		}
+	}
+	s.runScratch = run
+	s.defScratch = deferredScratch
+	if len(deferredScratch) > 0 {
+		deferred = deferredScratch
 	}
 	s.mu.Unlock()
 	s.dec.shuffleCalls.Add(1)

@@ -150,12 +150,17 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 }
 
 // RecordingScheduler wraps another scheduler and records every decision it
-// makes.
+// makes. The recording grows into reusable buffers — the per-decision
+// RunOrder/Deferred index lists are carved out of one shared flat int
+// buffer — so a steady-state trial records without allocating; Trace()
+// deep-copies on the way out (copy-on-admit: only runs somebody keeps pay
+// for the copy), and Reset rewinds the buffers for the next trial.
 type RecordingScheduler struct {
 	inner eventloop.Scheduler
 
-	mu    sync.Mutex
-	trace Trace
+	mu     sync.Mutex
+	trace  Trace
+	intBuf []int // backing store for ShuffleDecision RunOrder/Deferred views
 }
 
 var _ eventloop.Scheduler = (*RecordingScheduler)(nil)
@@ -165,17 +170,29 @@ func NewRecording(inner eventloop.Scheduler) *RecordingScheduler {
 	return &RecordingScheduler{inner: inner}
 }
 
-// Trace returns a copy of the decisions recorded so far.
+// Inner returns the wrapped scheduler — the handle a reusing caller needs
+// to Reseed it between trials without unwrapping-by-construction.
+func (r *RecordingScheduler) Inner() eventloop.Scheduler { return r.inner }
+
+// Trace returns a deep copy of the decisions recorded so far: nothing in
+// the returned trace aliases the recorder's reusable buffers, so it stays
+// valid across a Reset.
 func (r *RecordingScheduler) Trace() *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cp := Trace{
-		Timers:  append([]TimerDecision(nil), r.trace.Timers...),
-		Shuffle: append([]ShuffleDecision(nil), r.trace.Shuffle...),
-		Close:   append([]bool(nil), r.trace.Close...),
-		Pick:    append([]PickDecision(nil), r.trace.Pick...),
-	}
-	return &cp
+	return r.trace.Clone()
+}
+
+// Reset discards the recording in place, keeping every backing buffer for
+// the next trial. Traces handed out earlier are unaffected (Trace copies).
+func (r *RecordingScheduler) Reset() {
+	r.mu.Lock()
+	r.trace.Timers = r.trace.Timers[:0]
+	r.trace.Shuffle = r.trace.Shuffle[:0]
+	r.trace.Close = r.trace.Close[:0]
+	r.trace.Pick = r.trace.Pick[:0]
+	r.intBuf = r.intBuf[:0]
+	r.mu.Unlock()
 }
 
 // Decisions forwards the inner scheduler's decision counters (zero when the
@@ -211,24 +228,42 @@ func (r *RecordingScheduler) FilterTimers(due int) (int, time.Duration) {
 	return run, delay
 }
 
-// ShuffleReady implements eventloop.Scheduler.
+// ShuffleReady implements eventloop.Scheduler. The ready lists are small
+// (a poll batch), so positions are recovered by linear scan instead of a
+// per-call map, and the index lists append into the shared flat buffer.
 func (r *RecordingScheduler) ShuffleReady(ready []*eventloop.Event) (run, deferred []*eventloop.Event) {
 	run, deferred = r.inner.ShuffleReady(ready)
-	pos := make(map[*eventloop.Event]int, len(ready))
-	for i, e := range ready {
-		pos[e] = i
-	}
-	d := ShuffleDecision{N: len(ready)}
-	for _, e := range run {
-		d.RunOrder = append(d.RunOrder, pos[e])
-	}
-	for _, e := range deferred {
-		d.Deferred = append(d.Deferred, pos[e])
-	}
 	r.mu.Lock()
+	d := ShuffleDecision{N: len(ready)}
+	d.RunOrder = r.appendIndices(ready, run)
+	d.Deferred = r.appendIndices(ready, deferred)
 	r.trace.Shuffle = append(r.trace.Shuffle, d)
 	r.mu.Unlock()
 	return run, deferred
+}
+
+// appendIndices appends the position (in ready) of every event in sel to
+// the flat int buffer and returns the appended span (nil when sel is
+// empty, matching what building with append from nil produced). Caller
+// holds r.mu. When the buffer grows, spans handed out earlier keep
+// pointing at the old backing array — still correct, just no longer
+// shared.
+func (r *RecordingScheduler) appendIndices(ready, sel []*eventloop.Event) []int {
+	if len(sel) == 0 {
+		return nil
+	}
+	buf := r.intBuf
+	start := len(buf)
+	for _, e := range sel {
+		for i, re := range ready {
+			if re == e {
+				buf = append(buf, i)
+				break
+			}
+		}
+	}
+	r.intBuf = buf
+	return buf[start:len(buf):len(buf)]
 }
 
 // DeferClose implements eventloop.Scheduler.

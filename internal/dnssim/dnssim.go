@@ -13,6 +13,8 @@ package dnssim
 import (
 	"errors"
 	"math/rand"
+
+	"nodefz/internal/frand"
 	"sync"
 	"time"
 
@@ -63,7 +65,7 @@ func New(l *eventloop.Loop, cfg Config) *Resolver {
 		loop:    l,
 		latency: cfg.Latency,
 		ttl:     cfg.TTL,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     frand.New(cfg.Seed),
 		records: make(map[string][]string),
 		cache:   make(map[string]cacheEntry),
 	}

@@ -18,22 +18,30 @@ import "sort"
 // Events without a source (plain posts, worker-pool completions) are
 // unconstrained.
 func enforcePerSourceOrder(ready, run, deferred []*Event) ([]*Event, []*Event) {
-	pos := make(map[*Event]int, len(ready))
+	// Fast path: detect a source with two ready events by pairwise scan —
+	// ready batches are small, and skipping the map builds keeps the common
+	// single-event-per-source poll allocation-free.
 	multi := false
-	seen := make(map[*Source]bool)
+outer:
 	for i, e := range ready {
-		pos[e] = i
-		if e.src != nil {
-			if seen[e.src] {
+		if e.src == nil {
+			continue
+		}
+		for _, f := range ready[:i] {
+			if f.src == e.src {
 				multi = true
+				break outer
 			}
-			seen[e.src] = true
 		}
 	}
 	if !multi {
 		// No source contributed more than one event; nothing to enforce
 		// beyond what the scheduler already returned.
 		return run, deferred
+	}
+	pos := make(map[*Event]int, len(ready))
+	for i, e := range ready {
+		pos[e] = i
 	}
 
 	// Step 1: earliest deferred position per source.

@@ -112,23 +112,41 @@ type Loop struct {
 	clk   vclock.Clock
 	probe *oracle.Tracker
 	role  int // the loop's virtual-clock wake role
+	// lean is set when the caller supplied no metrics registry: nobody can
+	// read the private one New creates, so the per-phase wall-clock timing
+	// (two time.Now calls and a histogram update per phase, nine phases per
+	// iteration) is skipped. The atomic Stats counters and the end-of-Run
+	// foldStats gauges remain.
+	lean bool
 
 	mu          sync.Mutex
 	wake        chan wakeToken
-	pollBlocked bool     // loop is inside poll's blocking wait (guards wake-veto pairing)
-	pending     []*Event // ready events (the "epoll results")
-	deferred    []*Event // events the scheduler pushed to the next iteration
-	refs        int      // live handles + outstanding work
-	stopped     bool
+	pollBlocked bool        // loop is inside poll's blocking wait (guards wake-veto pairing)
+	pending     []*Event    // ready events (the "epoll results")
+	deferred    []*Event    // events the scheduler pushed to the next iteration
+	refs        int         // live handles + outstanding work
+	stopped     atomic.Bool // read lock-free on the per-event hot path
+	// evFree and crFree recycle executed events and close requests, and the
+	// scratch slices below keep phase batches off the heap; together they
+	// make a steady-state iteration (and an arena-reused trial) allocate
+	// only what the application itself allocates. Freelists are guarded by
+	// mu; the scratches are loop-goroutine-only.
+	evFree  []*Event
+	crFree  []*closeReq
+	srcAll  []*Source // every source the current trial created, retired at Reset
+	srcFree []*Source
 
 	// Loop-goroutine-only state (no locking needed).
-	timers     timerHeap
-	timerSeq   uint64
-	ticks      []tickFn
-	immediates []*immediateReq
-	pendingCBs []*Event
-	closing    []*closeReq
-	running    bool
+	timers       timerHeap
+	timerSeq     uint64
+	ticks        []tickFn
+	immediates   []*immediateReq
+	pendingCBs   []*Event
+	closing      []*closeReq
+	running      bool
+	dueScratch   []*Timer // runTimers batch
+	readyScratch []*Event // poll batch
+	pendScratch  []*Event // pending-phase batch
 
 	phaseHandles map[PhaseKind][]*PhaseHandle
 
@@ -202,6 +220,7 @@ func New(opts Options) *Loop {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 4
 	}
+	lean := opts.Metrics == nil
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
@@ -213,6 +232,7 @@ func New(opts Options) *Loop {
 		rec:          opts.Recorder,
 		clk:          opts.Clock,
 		probe:        opts.Probe,
+		lean:         lean,
 		wake:         make(chan wakeToken, 1),
 		phaseHandles: make(map[PhaseKind][]*PhaseHandle),
 		reg:          opts.Metrics,
@@ -254,10 +274,11 @@ func New(opts Options) *Loop {
 		RunLock: workLock,
 		Demux:   l.sched.DemuxDone(),
 		Metrics: l.reg,
+		Lean:    lean,
 		Clock:   l.clk,
 		Probe:   opts.Probe,
 		Post: func(kind, label string, ref oracle.Ref, cb func()) {
-			l.post(&Event{Kind: kind, Label: label, CB: cb, oref: ref})
+			l.postEvent(kind, label, cb, nil, ref)
 		},
 		Record: func(kind, label string) {
 			atomic.AddInt64(&l.stats.TasksExecuted, 1)
@@ -330,11 +351,18 @@ func (l *Loop) Run() error {
 		// timers, pending, idle, prepare, poll, timers again (§4.1), check,
 		// close. Every phase is timed into its duration histogram, and
 		// curPhase attributes executed callbacks to it.
-		for _, p := range phaseOrder {
-			l.curPhase = p
-			start := time.Now()
-			l.phaseFns[p]()
-			l.phaseNS[p].Observe(int64(time.Since(start)))
+		if l.lean {
+			for _, p := range phaseOrder {
+				l.curPhase = p
+				l.phaseFns[p]()
+			}
+		} else {
+			for _, p := range phaseOrder {
+				l.curPhase = p
+				start := time.Now()
+				l.phaseFns[p]()
+				l.phaseNS[p].Observe(int64(time.Since(start)))
+			}
 		}
 	}
 	l.pool.Close()
@@ -344,6 +372,72 @@ func (l *Loop) Run() error {
 	}
 	return nil
 }
+
+// Reset re-arms a drained loop for another trial on the same clock,
+// scheduler, recorder, probe, and metrics registry — the trial-arena path.
+// All queues, timers, handles, locals, and counters rewind to the
+// post-New state while every backing array and the worker pool (closed by
+// the previous Run; Restart re-arms it) are kept.
+//
+// The caller must guarantee the loop is quiescent — Run has returned and no
+// other goroutine still touches the loop — and owns resetting the
+// collaborators New wired in: the scheduler (core.Scheduler.Reseed), the
+// recorder, the metrics registry, the oracle tracker, and the virtual
+// clock (whose Reset leaves exactly the loop's own registration standing,
+// matching the Register New performed).
+func (l *Loop) Reset() {
+	l.mu.Lock()
+	clear(l.pending)
+	l.pending = l.pending[:0]
+	clear(l.deferred)
+	l.deferred = l.deferred[:0]
+	clear(l.ticks)
+	l.ticks = l.ticks[:0]
+	clear(l.immediates)
+	l.immediates = l.immediates[:0]
+	clear(l.pendingCBs)
+	l.pendingCBs = l.pendingCBs[:0]
+	clear(l.closing)
+	l.closing = l.closing[:0]
+	for i, s := range l.srcAll {
+		s.name = ""
+		s.closed = false
+		s.inflight = 0
+		l.srcFree = append(l.srcFree, s)
+		l.srcAll[i] = nil
+	}
+	l.srcAll = l.srcAll[:0]
+	l.refs = 0
+	l.stopped.Store(false)
+	l.pollBlocked = false
+	clear(l.locals)
+	l.mu.Unlock()
+	// A wake left over from the trial's last moments carries no usable
+	// grant (the clock is reset separately); drop it.
+	select {
+	case <-l.wake:
+	default:
+	}
+	clear(l.timers)
+	l.timers = l.timers[:0]
+	l.timerSeq = 0
+	l.running = false
+	clear(l.phaseHandles)
+	clear(l.atExit)
+	l.atExit = l.atExit[:0]
+	l.curPhase = 0
+	l.stats = Stats{}
+	l.pollStart.Store(0)
+	l.depth.Store(0)
+	l.pool.Reset()
+}
+
+// RestartPool re-arms the worker pool of a Reset loop, re-issuing the
+// workers' clock grants. Run restarts a closed pool too, but a trial arena
+// must spawn the workers at loop-acquisition time — before the trial's
+// network engine spawns — so the virtual run-grant order matches a freshly
+// built world, where New itself starts the pool.
+func (l *Loop) RestartPool() { l.pool.Restart() }
 
 // AtExit registers fn to run after the loop drains and the pool shuts down,
 // just before Run returns — the hook instrumentation uses to fold final
@@ -380,19 +474,17 @@ func (l *Loop) foldStats() {
 // Stop makes Run return as soon as the current phase completes. Safe from
 // any goroutine.
 func (l *Loop) Stop() {
-	l.mu.Lock()
-	l.stopped = true
-	l.mu.Unlock()
+	l.stopped.Store(true)
 	l.wakeup()
 }
 
 // alive reports whether the loop has anything left to do.
 func (l *Loop) alive() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.stopped {
+	if l.stopped.Load() {
 		return false
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	// Note: pending timers are not consulted directly — a ref'd timer holds
 	// a loop reference until it fires or is stopped, and an unref'd timer
 	// must not keep the loop alive (uv_unref semantics).
@@ -403,9 +495,7 @@ func (l *Loop) alive() bool {
 }
 
 func (l *Loop) isStopped() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stopped
+	return l.stopped.Load()
 }
 
 // ref/unref track live handles, like uv_ref/uv_unref.
@@ -453,9 +543,37 @@ func (l *Loop) wakeup() {
 	l.mu.Unlock()
 }
 
-// post delivers a ready event to the poll phase. Safe from any goroutine.
-func (l *Loop) post(ev *Event) {
+// getEventLocked hands out a recycled (or new) event. Caller holds mu.
+func (l *Loop) getEventLocked() *Event {
+	if n := len(l.evFree); n > 0 {
+		ev := l.evFree[n-1]
+		l.evFree[n-1] = nil
+		l.evFree = l.evFree[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycleEvents returns a batch of executed (or discarded) events to the
+// freelist. Callers must be done with every element: nothing may retain the
+// pointers afterwards (deferred events, in particular, must not be here).
+func (l *Loop) recycleEvents(evs []*Event) {
+	if len(evs) == 0 {
+		return
+	}
 	l.mu.Lock()
+	for _, ev := range evs {
+		ev.Kind, ev.Label, ev.CB, ev.src, ev.oref = "", "", nil, nil, oracle.Ref{}
+		l.evFree = append(l.evFree, ev)
+	}
+	l.mu.Unlock()
+}
+
+// postEvent queues one ready event, drawing it from the freelist.
+func (l *Loop) postEvent(kind, label string, cb func(), src *Source, ref oracle.Ref) {
+	l.mu.Lock()
+	ev := l.getEventLocked()
+	ev.Kind, ev.Label, ev.CB, ev.src, ev.oref = kind, label, cb, src, ref
 	l.pending = append(l.pending, ev)
 	l.mu.Unlock()
 	l.wakeup()
@@ -583,10 +701,11 @@ func (l *Loop) runTimers() {
 		return
 	}
 	now := l.clk.Now()
-	var due []*Timer
+	due := l.dueScratch[:0]
 	for l.timers.Len() > 0 && !l.timers[0].deadline.After(now) {
 		due = append(due, heap.Pop(&l.timers).(*Timer))
 	}
+	l.dueScratch = due
 	if len(due) == 0 {
 		return
 	}
@@ -606,6 +725,8 @@ func (l *Loop) runTimers() {
 	for _, t := range due[:run] {
 		l.fireTimer(t)
 	}
+	clear(due)
+	l.dueScratch = due[:0]
 	if run < len(due) && delay > 0 {
 		// The short-circuit's injected delay (§4.3.4). Under the virtual
 		// clock this advances simulated time instead of burning wall time.
@@ -655,7 +776,9 @@ func (l *Loop) nextTimerWait() (time.Duration, bool) {
 // by substrates to finish work deferred from a previous iteration.
 func (l *Loop) QueuePending(label string, cb func()) {
 	l.mu.Lock()
-	l.pendingCBs = append(l.pendingCBs, &Event{Kind: KindPending, Label: label, CB: cb, oref: l.oracleRef()})
+	ev := l.getEventLocked()
+	ev.Kind, ev.Label, ev.CB, ev.oref = KindPending, label, cb, l.oracleRef()
+	l.pendingCBs = append(l.pendingCBs, ev)
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -663,13 +786,16 @@ func (l *Loop) QueuePending(label string, cb func()) {
 
 func (l *Loop) runPendingPhase() {
 	l.mu.Lock()
-	batch := l.pendingCBs
-	l.pendingCBs = nil
+	batch := append(l.pendScratch[:0], l.pendingCBs...)
+	l.pendScratch = batch
+	l.pendingCBs = l.pendingCBs[:0]
 	l.mu.Unlock()
 	for _, ev := range batch {
 		l.executeUnit(ev.Kind, ev.Label, ev.oref, nil, ev.CB)
 		l.unref()
 	}
+	l.recycleEvents(batch)
+	l.pendScratch = batch[:0]
 }
 
 // --- poll phase ----------------------------------------------------------
@@ -695,11 +821,15 @@ func (l *Loop) poll() {
 	}
 
 	l.mu.Lock()
-	ready := l.deferred
-	l.deferred = nil
+	ready := l.readyScratch[:0]
+	ready = append(ready, l.deferred...)
 	ready = append(ready, l.pending...)
-	l.pending = nil
+	clear(l.deferred)
+	l.deferred = l.deferred[:0]
+	clear(l.pending)
+	l.pending = l.pending[:0]
 	l.mu.Unlock()
+	l.readyScratch = ready
 	if len(ready) == 0 {
 		return
 	}
@@ -716,11 +846,13 @@ func (l *Loop) poll() {
 		l.mu.Unlock()
 		atomic.AddInt64(&l.stats.EventsDeferred, int64(len(deferred)))
 	}
+	done := 0
 	for _, ev := range run {
 		if ev.src != nil && ev.src.isClosed() {
 			// The handle was closed while the event sat in the queue; its
 			// callbacks must no longer fire (like a closed uv handle).
 			ev.src.release()
+			done++
 			continue
 		}
 		atomic.AddInt64(&l.stats.EventsRun, 1)
@@ -735,10 +867,14 @@ func (l *Loop) poll() {
 		if ev.src != nil {
 			ev.src.release()
 		}
+		done++
 		if l.isStopped() {
-			return
+			break
 		}
 	}
+	// Deferred events stay live in l.deferred; everything that ran (or was
+	// skipped as closed) is dead and goes back to the freelist.
+	l.recycleEvents(run[:done])
 }
 
 // pollWait parks the loop until a wakeup arrives or timeout elapses
@@ -785,6 +921,7 @@ func (l *Loop) pollWait(timeout time.Duration) {
 				// Stop before retaking the token: an abandoned deadline
 				// must leave the heap before the next advance can trigger.
 				t.Stop()
+				t.Release()
 				if tok.vetoed {
 					l.clk.AwaitTurn(l.role)
 				} else {
@@ -792,6 +929,7 @@ func (l *Loop) pollWait(timeout time.Duration) {
 				}
 			case <-t.C:
 				t.Stop()
+				t.Release()
 				l.clk.Unblock()
 			}
 		}
@@ -821,7 +959,7 @@ func (l *Loop) pollTimeout() time.Duration {
 	busy := len(l.pending) > 0 || len(l.deferred) > 0 ||
 		len(l.ticks) > 0 || len(l.immediates) > 0 ||
 		len(l.pendingCBs) > 0 || len(l.closing) > 0 ||
-		l.stopped
+		l.stopped.Load()
 	refs := l.refs
 	l.mu.Unlock()
 	if busy {
@@ -923,7 +1061,16 @@ func (l *Loop) runImmediates() {
 
 func (l *Loop) queueClose(label string, cb func()) {
 	l.mu.Lock()
-	l.closing = append(l.closing, &closeReq{label: label, fn: cb, oref: l.oracleRef()})
+	var cr *closeReq
+	if n := len(l.crFree); n > 0 {
+		cr = l.crFree[n-1]
+		l.crFree[n-1] = nil
+		l.crFree = l.crFree[:n-1]
+	} else {
+		cr = &closeReq{}
+	}
+	cr.label, cr.fn, cr.oref = label, cb, l.oracleRef()
+	l.closing = append(l.closing, cr)
 	l.refs++
 	l.mu.Unlock()
 	l.wakeup()
@@ -946,6 +1093,10 @@ func (l *Loop) runClosing() {
 		}
 		l.executeUnit(KindClose, cr.label, cr.oref, nil, cr.fn)
 		l.unref()
+		cr.label, cr.fn, cr.oref = "", nil, oracle.Ref{}
+		l.mu.Lock()
+		l.crFree = append(l.crFree, cr)
+		l.mu.Unlock()
 	}
 	if len(kept) > 0 {
 		l.mu.Lock()

@@ -25,10 +25,25 @@ type Source struct {
 }
 
 // NewSource registers a new event source with the loop. Safe from any
-// goroutine.
+// goroutine. Sources are recycled across trials: Loop.Reset retires every
+// source the previous trial created, so a pointer handed out here is never
+// simultaneously live in two roles (the oracle keys per-connection FIFO
+// chains by source pointer, which stays injective within a trial).
 func (l *Loop) NewSource(name string) *Source {
-	l.ref()
-	return &Source{loop: l, name: name}
+	l.mu.Lock()
+	l.refs++
+	var s *Source
+	if n := len(l.srcFree); n > 0 {
+		s = l.srcFree[n-1]
+		l.srcFree[n-1] = nil
+		l.srcFree = l.srcFree[:n-1]
+		s.name = name
+	} else {
+		s = &Source{loop: l, name: name}
+	}
+	l.srcAll = append(l.srcAll, s)
+	l.mu.Unlock()
+	return s
 }
 
 // Name returns the source's label.
@@ -51,7 +66,7 @@ func (s *Source) PostRef(kind, label string, ref oracle.Ref, cb func()) {
 	}
 	s.inflight++
 	s.mu.Unlock()
-	s.loop.post(&Event{Kind: kind, Label: label, CB: cb, src: s, oref: ref})
+	s.loop.postEvent(kind, label, cb, s, ref)
 }
 
 // isClosed reports whether the source has been closed; closed sources'

@@ -79,10 +79,13 @@ func median(xs []int) int {
 // TestCoverageFeedbackFirstManifest is the acceptance gate for greybox
 // feedback: over a spread of base seeds and a fixed trial budget, the
 // coverage-fed campaign must reach its first manifesting trial in no more
-// trials (median) than the novelty-only baseline on at least 3 of the bug
-// variants tested. Both campaigns run single-worker under virtual time, so
-// the comparison is deterministic and reproducible; the EXPERIMENTS.md
-// coverage table is this test's logged output.
+// trials (median) than the novelty-only baseline on at least half of the
+// bug variants tested (3 of 6 in full mode; short mode runs a 3-variant,
+// 5-seed smoke at the same proportion — small-sample medians are too noisy
+// to hold the smoke to a stricter bar than the full gate). Both campaigns
+// run single-worker under virtual time, so the comparison is deterministic
+// and reproducible; the EXPERIMENTS.md coverage table is this test's
+// logged output.
 func TestCoverageFeedbackFirstManifest(t *testing.T) {
 	variants := []string{"SIO", "MGS", "KUE", "GHO", "FPS", "EPL"}
 	seeds, budget := 10, 30
@@ -110,8 +113,8 @@ func TestCoverageFeedbackFirstManifest(t *testing.T) {
 		t.Logf("%-4s novelty-median=%2d coverage-median=%2d (budget %d, %d seeds) noWorse=%v",
 			abbr, nm, cm, budget, seeds, ok)
 	}
-	if noWorse < 3 {
-		t.Fatalf("coverage feedback was no-worse on only %d/%d variants, want >= 3",
-			noWorse, len(variants))
+	if want := (len(variants) + 1) / 2; noWorse < want {
+		t.Fatalf("coverage feedback was no-worse on only %d/%d variants, want >= %d",
+			noWorse, len(variants), want)
 	}
 }

@@ -7,7 +7,7 @@ package loadgen
 
 import (
 	"fmt"
-	"math/rand"
+	"nodefz/internal/frand"
 	"sort"
 	"time"
 
@@ -91,7 +91,7 @@ func (r Result) String() string {
 // the loop (or before Run).
 func Run(l *eventloop.Loop, net *simnet.Network, addr string, cfg Config, done func(Result)) {
 	cfg.fill()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := frand.New(cfg.Seed)
 	clk := l.Clock()
 	res := &Result{}
 	start := clk.Now()

@@ -52,7 +52,7 @@ type FleetStatusWriter struct {
 
 // NewFleetStatusWriter wraps w. The writer does not close w.
 func NewFleetStatusWriter(w io.Writer) *FleetStatusWriter {
-	return &FleetStatusWriter{lw: lineWriter[FleetStatusRecord]{enc: json.NewEncoder(w)}}
+	return &FleetStatusWriter{lw: newLineWriter[FleetStatusRecord](w, false)}
 }
 
 // Write appends one record. After the first error every call returns it

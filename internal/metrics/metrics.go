@@ -132,6 +132,26 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Reset zeroes every instrument in place, preserving instrument identity:
+// handles resolved before the reset keep recording into the same (now
+// zeroed) counters, gauges, and histograms. This is what lets a trial arena
+// reuse one registry across trials — the loop and pool resolve their
+// instrument handles once at construction, and each trial still starts its
+// export snapshot from zero.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
 // Names returns the sorted instrument names of each kind, for tests and
 // debug dumps.
 func (r *Registry) Names() (counters, gauges, hists []string) {

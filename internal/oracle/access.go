@@ -137,7 +137,13 @@ func (t *Tracker) EndSpan(tok SpanToken) {
 func (t *Tracker) cell(name string) *cellState {
 	cs := t.cells[name]
 	if cs == nil {
-		cs = &cellState{}
+		if n := len(t.freeCells); n > 0 {
+			cs = t.freeCells[n-1]
+			t.freeCells[n-1] = nil
+			t.freeCells = t.freeCells[:n-1]
+		} else {
+			cs = &cellState{}
+		}
 		t.cells[name] = cs
 		t.cellOrder = append(t.cellOrder, name)
 	}

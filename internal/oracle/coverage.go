@@ -1,7 +1,6 @@
 package oracle
 
 import (
-	"hash/fnv"
 	"sort"
 	"strconv"
 )
@@ -47,10 +46,17 @@ func (d CoverageDigest) Items() int {
 	return len(d.RacingPairs) + len(d.Tuples) + 1
 }
 
+// tupleKey is one adjacency n-gram held unrendered: a 2-tuple leaves the
+// third element empty (kinds are never empty strings). Array keys keep the
+// hot noteTopLevel path free of the string concatenation a map[string]bool
+// would force on every call; Coverage renders the strings once per
+// snapshot.
+type tupleKey [3]string
+
 // coverage is the tracker-side accumulator behind CoverageDigest.
 type coverage struct {
 	pairs    map[string]bool
-	tuples   map[string]bool
+	tuples   map[tupleKey]bool
 	hbSeen   map[uint64]bool
 	hbDigest uint64
 	// prev1/prev2 are the kinds of the last and second-to-last top-level
@@ -63,20 +69,45 @@ type coverage struct {
 func newCoverage() *coverage {
 	return &coverage{
 		pairs:  make(map[string]bool),
-		tuples: make(map[string]bool),
+		tuples: make(map[tupleKey]bool),
 		hbSeen: make(map[uint64]bool),
 	}
 }
 
+// reset clears the accumulator in place, keeping map storage.
+func (c *coverage) reset() {
+	clear(c.pairs)
+	clear(c.tuples)
+	clear(c.hbSeen)
+	c.hbDigest = 0
+	c.prev1, c.prev2 = "", ""
+	c.topCount = 0
+}
+
+// FNV-1a parameters (hash/fnv's 64-bit variant, inlined so the per-edge
+// hash allocates nothing).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // edgeHash fingerprints one type-level HB edge. A NUL separates the kinds
 // (kinds are short printable identifiers, never containing NUL), mirroring
-// sched.Digest's element framing.
+// sched.Digest's element framing. The fold is exactly hash/fnv.New64a over
+// from || 0x00 || to.
 func edgeHash(from, to string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(from))
-	_, _ = h.Write([]byte{0})
-	_, _ = h.Write([]byte(to))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(from); i++ {
+		h ^= uint64(from[i])
+		h *= fnvPrime64
+	}
+	// The NUL separator: XOR with 0 is the identity, so only the multiply.
+	h *= fnvPrime64
+	for i := 0; i < len(to); i++ {
+		h ^= uint64(to[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // noteHBEdge folds one type-level causality edge into the HB-edge set
@@ -97,10 +128,10 @@ func (t *Tracker) noteHBEdge(from, to string) {
 func (t *Tracker) noteTopLevel(kind string) {
 	c := t.cov
 	if c.topCount >= 1 {
-		c.tuples[c.prev1+">"+kind] = true
+		c.tuples[tupleKey{c.prev1, kind}] = true
 	}
 	if c.topCount >= 2 {
-		c.tuples[c.prev2+">"+c.prev1+">"+kind] = true
+		c.tuples[tupleKey{c.prev2, c.prev1, kind}] = true
 	}
 	c.prev2, c.prev1 = c.prev1, kind
 	c.topCount++
@@ -137,7 +168,11 @@ func (t *Tracker) Coverage() CoverageDigest {
 	if len(c.tuples) > 0 {
 		d.Tuples = make([]string, 0, len(c.tuples))
 		for tu := range c.tuples {
-			d.Tuples = append(d.Tuples, tu)
+			if tu[2] == "" {
+				d.Tuples = append(d.Tuples, tu[0]+">"+tu[1])
+			} else {
+				d.Tuples = append(d.Tuples, tu[0]+">"+tu[1]+">"+tu[2])
+			}
 		}
 		sort.Strings(d.Tuples)
 	}

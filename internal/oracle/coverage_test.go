@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"hash/fnv"
 	"reflect"
 	"sort"
 	"strconv"
@@ -113,5 +114,26 @@ func TestCoverageOutputSortedAndStable(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(c1.RacingPairs) || !sort.StringsAreSorted(c1.Tuples) {
 		t.Fatalf("coverage sets not sorted: %+v", c1)
+	}
+}
+
+// TestEdgeHashMatchesFNV pins the hand-inlined edgeHash to the stdlib
+// FNV-1a it replaced: same bytes, same digest, forever.
+func TestEdgeHashMatchesFNV(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"timer", "net-read"},
+		{"work-done", "close"},
+		{"a", "ab"},
+		{"ab", "a"},
+	}
+	for _, c := range cases {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(c[0]))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(c[1]))
+		if got, want := edgeHash(c[0], c[1]), h.Sum64(); got != want {
+			t.Errorf("edgeHash(%q, %q) = %#x, want %#x", c[0], c[1], got, want)
+		}
 	}
 }

@@ -44,13 +44,13 @@ type Report struct {
 const traceDepth = 5
 
 func trace(u *unit) []UnitInfo {
-	var rev []UnitInfo
-	for p := u.parent; p != nil && len(rev) < traceDepth; p = p.parent {
-		rev = append(rev, p.info())
+	n := 0
+	for p := u.parent; p != nil && n < traceDepth; p = p.parent {
+		n++
 	}
-	out := make([]UnitInfo, len(rev))
-	for i, e := range rev {
-		out[len(rev)-1-i] = e
+	out := make([]UnitInfo, n)
+	for p, i := u.parent, n-1; p != nil && i >= 0; p, i = p.parent, i-1 {
+		out[i] = p.info()
 	}
 	return out
 }

@@ -68,6 +68,30 @@ type Tracker struct {
 	maxRep    int
 	dedup     map[reportKey]bool
 	cov       *coverage
+
+	// Recycling state: every unit and cell created during a trial is
+	// registered so Reset can return it to a freelist wholesale — an
+	// arena-reused trial allocates no units after its first run. Recycled
+	// units keep their vc backing arrays (join overwrites as it regrows).
+	allUnits    []*unit
+	freeUnits   []*unit
+	freeCells   []*cellState
+	predScratch []*unit // newUnit predecessor batch
+}
+
+// getUnit hands out a recycled (or new) unit and registers it for the next
+// Reset. Caller holds t.mu; fields other than vc are zero, vc is length 0.
+func (t *Tracker) getUnit() *unit {
+	var u *unit
+	if n := len(t.freeUnits); n > 0 {
+		u = t.freeUnits[n-1]
+		t.freeUnits[n-1] = nil
+		t.freeUnits = t.freeUnits[:n-1]
+	} else {
+		u = &unit{}
+	}
+	t.allUnits = append(t.allUnits, u)
+	return u
 }
 
 // New returns a Tracker with an implicit root unit on the stack: code that
@@ -84,10 +108,57 @@ func New() *Tracker {
 		cov:       newCoverage(),
 	}
 	root := &unit{id: 0, kind: "root", chain: 0, index: 1, vc: vclockT{1}}
+	t.allUnits = append(t.allUnits, root)
 	t.nextID = 1
 	t.chainTail = []*unit{root}
 	t.stack = []*unit{root}
 	return t
+}
+
+// Reset re-arms the tracker for a new trial, equivalent to a fresh New():
+// a new root unit, default taint labels, and empty shadow state, coverage,
+// and reports. Backing maps and slices are retained and cleared in place so
+// a trial arena pays no per-trial allocation for the tracker. Safe on a nil
+// receiver. The caller must guarantee no unit is executing (no outstanding
+// Begin without its End) when Reset runs.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.lastByKey)
+	clear(t.lastSync)
+	clear(t.taintSet)
+	t.taintSet["detector"] = true
+	t.taintSet["watchdog"] = true
+	for _, cs := range t.cells {
+		clear(cs.hist)
+		cs.hist = cs.hist[:0]
+		clear(cs.spans)
+		cs.spans = cs.spans[:0]
+		t.freeCells = append(t.freeCells, cs)
+	}
+	clear(t.cells)
+	t.cellOrder = t.cellOrder[:0]
+	t.reports = t.reports[:0]
+	clear(t.dedup)
+	t.cov.reset()
+	for i, u := range t.allUnits {
+		u.id, u.kind, u.label = 0, "", ""
+		u.chain, u.index = 0, 0
+		u.vc = u.vc[:0]
+		u.parent, u.tainted = nil, false
+		t.freeUnits = append(t.freeUnits, u)
+		t.allUnits[i] = nil
+	}
+	t.allUnits = t.allUnits[:0]
+	root := t.getUnit()
+	root.kind, root.index = "root", 1
+	root.vc = append(root.vc, 1)
+	t.nextID = 1
+	t.chainTail = append(t.chainTail[:0], root)
+	t.stack = append(t.stack[:0], root)
 }
 
 // SetTaintLabels replaces the taint label set (default "detector",
@@ -158,9 +229,10 @@ func (t *Tracker) BeginKeyed(kind, label string, key any, refs ...Ref) Token {
 // top (the enclosing unit, always present: the root is never popped).
 // Caller holds t.mu.
 func (t *Tracker) newUnit(kind, label string, refs []Ref, extra *unit) *unit {
-	u := &unit{id: t.nextID, kind: kind, label: label}
+	u := t.getUnit()
+	u.id, u.kind, u.label = t.nextID, kind, label
 	t.nextID++
-	preds := make([]*unit, 0, len(refs)+2)
+	preds := t.predScratch[:0]
 	for _, r := range refs {
 		if r.u != nil {
 			preds = append(preds, r.u)
@@ -215,6 +287,8 @@ func (t *Tracker) newUnit(kind, label string, refs []Ref, extra *unit) *unit {
 		u.vc = append(u.vc, 0)
 	}
 	u.vc[u.chain] = u.index
+	clear(preds)
+	t.predScratch = preds[:0]
 	return u
 }
 

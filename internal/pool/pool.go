@@ -103,6 +103,10 @@ type Config struct {
 	// Metrics receives pool activity: task/done queue depths, task
 	// durations, worker busy time. Nil creates a private registry.
 	Metrics *metrics.Registry
+	// Lean skips the histogram observations and the wall-clock task timing
+	// feeding them even when Metrics is set; the atomic counters remain.
+	// The loop sets it when its own caller asked for no metrics.
+	Lean bool
 	// Clock is the pool's time source for the lookahead wait; the workers
 	// register as clock participants. Nil means vclock.Wall.
 	Clock vclock.Clock
@@ -115,6 +119,11 @@ type Pool struct {
 
 	clk  vclock.Clock
 	role int // the workers' shared virtual-clock wake role
+	// lean is set when the owner supplied no metrics registry: the
+	// histogram observations and the wall-clock task timing feeding them
+	// are skipped (the atomic counters remain), which removes two
+	// time.Now calls plus four histogram updates from every task.
+	lean bool
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -159,13 +168,14 @@ func New(cfg Config) *Pool {
 	if cfg.Post == nil {
 		panic("pool: Config.Post is required")
 	}
+	lean := cfg.Lean || cfg.Metrics == nil
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Wall{}
 	}
-	p := &Pool{cfg: cfg, clk: cfg.Clock, fill: make(chan struct{}, 1)}
+	p := &Pool{cfg: cfg, clk: cfg.Clock, lean: lean, fill: make(chan struct{}, 1)}
 	p.mSubmitted = cfg.Metrics.Counter("pool.tasks_submitted")
 	p.mExecuted = cfg.Metrics.Counter("pool.tasks_executed")
 	p.mBusyNS = cfg.Metrics.Counter("pool.busy_ns")
@@ -203,7 +213,9 @@ func (p *Pool) Submit(t *Task) {
 	p.pokeFillLocked()
 	p.mu.Unlock()
 	p.mSubmitted.Inc()
-	p.mQueueDepth.Observe(int64(depth))
+	if !p.lean {
+		p.mQueueDepth.Observe(int64(depth))
+	}
 }
 
 // pokeFillLocked nudges a lookahead-waiting worker, pairing the cap-1 send
@@ -261,6 +273,26 @@ func (p *Pool) Close() {
 	p.clk.UnblockKeep()
 }
 
+// Reset re-arms a closed pool for a new trial: the task and done queues are
+// truncated in place (keeping their backing arrays) and the counters
+// rewind. The caller must have Closed the pool — no worker goroutine alive —
+// and owns resetting the shared metrics registry; Restart brings the
+// workers back.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	clear(p.queue)
+	p.queue = p.queue[:0]
+	clear(p.doneq)
+	p.doneq = p.doneq[:0]
+	p.executed = 0
+	p.sigPending = 0
+	select {
+	case <-p.fill:
+	default:
+	}
+	p.mu.Unlock()
+}
+
 // Restart re-spawns the workers of a closed pool; a no-op on a running
 // one. The owning loop calls it at the start of each Run so work queued
 // between runs executes.
@@ -302,11 +334,15 @@ func (p *Pool) worker() {
 		if t.Latency > 0 && wall {
 			time.Sleep(t.Latency)
 		}
-		start := time.Now()
-		t.result, t.err = t.Fn()
-		busy := time.Since(start)
-		p.mBusyNS.Add(int64(busy))
-		p.mTaskNS.Observe(int64(busy))
+		if p.lean {
+			t.result, t.err = t.Fn()
+		} else {
+			start := time.Now()
+			t.result, t.err = t.Fn()
+			busy := time.Since(start)
+			p.mBusyNS.Add(int64(busy))
+			p.mTaskNS.Observe(int64(busy))
+		}
 		if p.cfg.RunLock != nil {
 			p.cfg.RunLock.Unlock()
 		}
@@ -364,7 +400,9 @@ func (p *Pool) take() (t *Task, ok bool) {
 	if dof > 0 && dof < window {
 		window = dof
 	}
-	p.mPickWindow.Observe(int64(window))
+	if !p.lean {
+		p.mPickWindow.Observe(int64(window))
+	}
 	i := 0
 	if window > 1 {
 		i = p.cfg.Picker.PickTask(window)
@@ -413,9 +451,11 @@ func (p *Pool) fillWaitLocked(dof int, maxDelay, pollThreshold time.Duration) bo
 			// A nudge carries a run grant; stop the abandoned timer before
 			// claiming our turn (an advance may trigger while we wait).
 			t.Stop()
+			t.Release()
 			p.clk.AwaitTurn(p.role)
 		case <-t.C:
 			t.Stop()
+			t.Release()
 			p.clk.Unblock()
 		}
 		p.mu.Lock()
@@ -451,7 +491,9 @@ func (p *Pool) complete(t *Task) {
 	first := len(p.doneq) == 1
 	depth := len(p.doneq)
 	p.mu.Unlock()
-	p.mDoneDepth.Observe(int64(depth))
+	if !p.lean {
+		p.mDoneDepth.Observe(int64(depth))
+	}
 	if first {
 		// One wakeup drains the whole done queue: the multiplexing that
 		// §4.3.1 calls out as hostile to fuzzing. Every done callback that

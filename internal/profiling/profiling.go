@@ -1,0 +1,55 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the
+// long-running CLIs (fzcampaign, fzfleet) to runtime/pprof. Campaign
+// throughput work lives or dies by profiles of the real driver — a
+// benchmark harness approximates the trial loop but not the executor,
+// journal, or fleet scheduling around it — so the drivers expose the
+// same profiling surface `go test` does.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either may be empty to skip that profile. The returned stop
+// function flushes and closes the profiles; it is idempotent, so callers
+// can both defer it (normal return) and invoke it explicitly before an
+// os.Exit path. On error nothing is left running and stop is a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return func() {}, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // match `go test -memprofile`: up-to-date live-heap stats
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		})
+	}, nil
+}

@@ -2,6 +2,8 @@ package simfs
 
 import (
 	"math/rand"
+
+	"nodefz/internal/frand"
 	"sync"
 	"time"
 
@@ -35,12 +37,21 @@ func Bind(loop *eventloop.Loop, fs *FS, latency time.Duration, seed int64) *Asyn
 		loop:    loop,
 		fs:      fs,
 		latency: latency,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     frand.New(seed),
 	}
 }
 
 // FS returns the underlying synchronous filesystem.
 func (a *Async) FS() *FS { return a.fs }
+
+// Reseed re-arms the jitter generator in place, bit-identical to a fresh
+// Bind with the same seed — the trial-arena path that keeps one Async per
+// loop across trials instead of allocating a new generator each time.
+func (a *Async) Reseed(seed int64) {
+	a.mu.Lock()
+	a.rng.Seed(seed)
+	a.mu.Unlock()
+}
 
 func (a *Async) serviceTime() time.Duration {
 	if a.latency <= 0 {

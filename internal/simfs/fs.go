@@ -74,6 +74,22 @@ func NewPageSize(pageSize int) *FS {
 // PageSize reports the write-atomicity granularity.
 func (fs *FS) PageSize() int { return fs.pageSize }
 
+// Reset empties the filesystem in place — tree, op counts, and watchers —
+// as if freshly built, keeping the page size, page-write delay, and clock.
+// The caller must guarantee no operation is in flight.
+func (fs *FS) Reset() {
+	fs.mu.Lock()
+	fs.root = &node{dir: true, children: make(map[string]*node)}
+	fs.mu.Unlock()
+	fs.opsMu.Lock()
+	clear(fs.ops)
+	fs.opsMu.Unlock()
+	fs.watchMu.Lock()
+	clear(fs.watchers)
+	fs.watchers = fs.watchers[:0]
+	fs.watchMu.Unlock()
+}
+
 // SetPageWriteDelay makes every page of a WriteAt cost d of simulated disk
 // time (spent *outside* the per-file lock, between pages). Real disks take
 // time per page, which is what gives concurrent overlapping writes their

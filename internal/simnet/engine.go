@@ -48,6 +48,10 @@ type engine struct {
 	wake   chan struct{}
 	done   chan struct{}
 	closed bool
+	wg     sync.WaitGroup
+	// free recycles fired deliveries; a steady-state trial schedules
+	// without allocating. Guarded by mu.
+	free []*delivery
 }
 
 func newEngine(clk vclock.Clock) *engine {
@@ -62,6 +66,7 @@ func newEngine(clk vclock.Clock) *engine {
 	e.role = clk.AllocRole()
 	// The spawn grant fixes the engine's place in the virtual run order;
 	// run() claims it with Start before touching the heap.
+	e.wg.Add(1)
 	clk.Wake(e.role)
 	go e.run()
 	return e
@@ -81,7 +86,16 @@ func (e *engine) schedule(delay time.Duration, notBefore time.Time, fn func()) t
 		return due
 	}
 	e.seq++
-	heap.Push(&e.heap, &delivery{due: due, seq: e.seq, fn: fn})
+	var d *delivery
+	if n := len(e.free); n > 0 {
+		d = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.due, d.seq, d.fn = due, e.seq, fn
+	heap.Push(&e.heap, d)
 	e.mu.Unlock()
 	e.clk.Wake(e.role)
 	select {
@@ -92,7 +106,13 @@ func (e *engine) schedule(delay time.Duration, notBefore time.Time, fn func()) t
 	return due
 }
 
-// close stops the engine; pending deliveries are dropped.
+// close stops the engine and joins its goroutine; pending deliveries are
+// dropped. Joining (rather than the historical fire-and-forget) is what
+// makes the engine safely restartable: once close returns, no engine
+// goroutine can still be parked on the clock, so a trial arena may reset
+// the clock and respawn the engine without a zombie claiming a later
+// trial's run grant. The shutdown wait counts as blocked on the clock for
+// the same reason the pool's does.
 func (e *engine) close() {
 	e.mu.Lock()
 	if e.closed {
@@ -102,14 +122,48 @@ func (e *engine) close() {
 	e.closed = true
 	e.mu.Unlock()
 	close(e.done)
+	e.clk.Block()
+	e.wg.Wait()
+	e.clk.UnblockKeep()
+	// A wake that raced the teardown leaves its token — and its unclaimed
+	// run grant — behind; revoke it so the grant cannot wedge the clock or
+	// leak into the engine's next incarnation.
+	select {
+	case <-e.wake:
+		e.clk.Unwake(e.role)
+	default:
+	}
+}
+
+// restart re-arms a closed engine: the delivery heap empties in place and a
+// fresh goroutine spawns under the same clock role, exactly as newEngine
+// did. The caller must have close()d the engine first.
+func (e *engine) restart() {
+	e.mu.Lock()
+	clear(e.heap)
+	e.heap = e.heap[:0]
+	e.seq = 0
+	e.closed = false
+	e.done = make(chan struct{})
+	e.mu.Unlock()
+	e.wg.Add(1)
+	e.clk.Wake(e.role)
+	go e.run()
 }
 
 func (e *engine) run() {
+	defer e.wg.Done()
 	e.clk.Register()
 	defer e.clk.Unregister()
 	e.clk.Start(e.role)
+	var recycle *delivery
 	for {
 		e.mu.Lock()
+		if recycle != nil {
+			recycle.fn = nil
+			e.free = append(e.free, recycle)
+			recycle = nil
+		}
 		if e.closed {
 			e.mu.Unlock()
 			return
@@ -129,6 +183,7 @@ func (e *engine) run() {
 
 		if ready != nil {
 			ready.fn()
+			recycle = ready
 			continue
 		}
 		if wait < 0 {
@@ -151,12 +206,15 @@ func (e *engine) run() {
 		select {
 		case <-e.wake:
 			t.Stop()
+			t.Release()
 			e.clk.AwaitTurn(e.role)
 		case <-t.C:
 			t.Stop()
+			t.Release()
 			e.clk.Unblock()
 		case <-e.done:
 			t.Stop()
+			t.Release()
 			e.clk.UnblockKeep()
 			return
 		}

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"nodefz/internal/frand"
 	"sync"
 	"time"
 
@@ -80,13 +82,39 @@ func New(cfg Config) *Network {
 	return &Network{
 		cfg:       cfg,
 		engine:    newEngine(cfg.Clock),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       frand.New(cfg.Seed),
 		listeners: make(map[string]*Listener),
 	}
 }
 
-// Close shuts the network down; undelivered messages are dropped.
+// Close shuts the network down; undelivered messages are dropped. Close
+// joins the delivery goroutine, so when it returns the network holds no
+// clock registration.
 func (n *Network) Close() { n.engine.close() }
+
+// Reset re-arms a Closed network for a new trial as if freshly built with
+// New(cfg): the latency sampler reseeds in place (bit-identical to a fresh
+// rand source), listeners and connection numbering rewind, and the delivery
+// engine respawns under its original clock role. cfg.Clock must be the
+// clock the network was built with — the engine's role lives on it.
+func (n *Network) Reset(cfg Config) {
+	if cfg.MinLatency <= 0 {
+		cfg.MinLatency = 50 * time.Microsecond
+	}
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = 10 * cfg.MinLatency
+	}
+	n.mu.Lock()
+	n.cfg.Seed = cfg.Seed
+	n.cfg.MinLatency = cfg.MinLatency
+	n.cfg.MaxLatency = cfg.MaxLatency
+	n.cfg.Probe = cfg.Probe
+	n.rng.Seed(cfg.Seed)
+	clear(n.listeners)
+	n.connSeq = 0
+	n.mu.Unlock()
+	n.engine.restart()
+}
 
 // probeRef captures the unit currently executing on the calling loop, for
 // attachment to a delivery scheduled now. Zero when the oracle is off.

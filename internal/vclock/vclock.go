@@ -54,6 +54,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,7 +71,7 @@ func (v *Virtual) assertRunning(op string) {
 	buf := make([]byte, 16384)
 	n := runtime.Stack(buf, false)
 	fmt.Fprintf(os.Stderr, "vclock: %s without run token (runq=%v fire=%d blocked=%d/%d)\n%s\n",
-		op, v.runq, v.fire, v.blocked, v.participants, buf[:n])
+		op, v.runq[v.qhead:], v.fire, v.blocked, v.participants, buf[:n])
 }
 
 // Clock abstracts the runtime's use of time. Wall is the zero-cost
@@ -163,6 +164,19 @@ func (t *Timer) Stop() bool {
 	return t.v.stopTimer(t.vt)
 }
 
+// Release hands a finished timer's storage back to the clock for reuse.
+// The timer must be dead — stopped, or fired and its C drained — and the
+// caller must not touch t or t.C afterwards. Wall timers are garbage
+// collected as usual, so Release is a no-op for them. Releasing is optional
+// but the hot wait paths (poll timeouts, pool fill waits, delivery engine
+// waits) create one timer per wait, and recycling them is what keeps a
+// virtual trial's steady-state allocation flat.
+func (t *Timer) Release() {
+	if t.v != nil {
+		t.v.releaseTimer(t.vt)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Wall
 
@@ -206,15 +220,23 @@ type Virtual struct {
 	mu   sync.Mutex
 	turn *sync.Cond // broadcast whenever the token or grant queue changes
 	now  time.Time
+	// nowNS mirrors now as nanoseconds-since-epoch so Now() can read the
+	// clock without taking mu: participants stamp every recorder entry and
+	// check deadlines on the hot path, and the mutex round-trip was showing
+	// up in trial profiles.
+	nowNS atomic.Int64
 
 	participants int
 	blocked      int
 	// running is the run token: true while some participant executes. The
 	// clock never advances, and no grant is claimable, while it is held.
 	running bool
-	// runq is the FIFO of issued-but-unclaimed run grants, by role. A
-	// non-empty queue vetoes advances: a wake is in flight.
-	runq []int
+	// runq[qhead:] is the FIFO of issued-but-unclaimed run grants, by role.
+	// A non-empty queue vetoes advances: a wake is in flight. Claims advance
+	// qhead instead of re-slicing, so the backing array never drifts and
+	// Wake stops allocating once the queue has reached its high-water mark.
+	runq  []int
+	qhead int
 	// fire counts a timer fire whose waiter has not yet retaken the token
 	// via Unblock. Like a grant, it vetoes advances.
 	fire int
@@ -222,6 +244,9 @@ type Virtual struct {
 	timers vheap
 	seq    uint64
 	roles  int
+	// free recycles dead vtimers (and their channels and Timer handles)
+	// across waits; see Timer.Release.
+	free []*vtimer
 }
 
 // NewVirtual returns a virtual clock at the epoch with no participants.
@@ -231,13 +256,49 @@ func NewVirtual() *Virtual {
 	return v
 }
 
+// Reset rewinds the clock to the epoch for the next trial of an arena: time,
+// timer sequence numbers, grants, fires, and the pending-timer heap all
+// return to their just-constructed values, with the calling goroutine as the
+// single registered participant holding the run token (the state Register
+// leaves a fresh clock in when the event loop is built on it).
+//
+// The caller must guarantee quiescence first: every other participant has
+// unregistered and no other goroutine will touch the clock again. Role
+// numbers are deliberately NOT reset — they only ever matter for equality
+// in the grant queue, and keeping them monotonic means a participant
+// spawned after the reset can never collide with a stale one.
+func (v *Virtual) Reset() {
+	v.mu.Lock()
+	v.setNow(epoch)
+	v.participants = 1
+	v.blocked = 0
+	v.running = true
+	v.runq = v.runq[:0]
+	v.qhead = 0
+	v.fire = 0
+	// Stray timers (a force-stopped trial can abandon waits) are dropped,
+	// not recycled: their owners may still hold the handles.
+	for i := range v.timers {
+		v.timers[i].index = -1
+		v.timers[i] = nil
+	}
+	v.timers = v.timers[:0]
+	v.seq = 0
+	v.mu.Unlock()
+}
+
 type vtimer struct {
 	deadline time.Time
 	pri      int
 	seq      uint64
 	ch       chan time.Time
-	index    int // heap index, -1 when fired or stopped
+	index    int   // heap index; -1 fired/stopped; freeIndex in freelist
+	tim      Timer // the handle NewTimerPri returns, reused across recycles
 }
+
+// freeIndex marks a vtimer parked in the freelist, so a double Release (or
+// a Stop after Release) is inert instead of corrupting the heap.
+const freeIndex = -2
 
 type vheap []*vtimer
 
@@ -272,9 +333,14 @@ func (h *vheap) Pop() any {
 }
 
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return epoch.Add(time.Duration(v.nowNS.Load()))
+}
+
+// setNow writes the clock (caller holds mu), keeping the lock-free mirror
+// in step.
+func (v *Virtual) setNow(t time.Time) {
+	v.now = t
+	v.nowNS.Store(int64(t.Sub(epoch)))
 }
 
 func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
@@ -288,6 +354,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	v.Block()
 	<-t.C
 	v.Unblock()
+	t.Release()
 }
 
 // Charge advances simulated time by d on the spot. The caller keeps the run
@@ -300,7 +367,7 @@ func (v *Virtual) Charge(d time.Duration) {
 	}
 	v.mu.Lock()
 	v.assertRunning("Charge")
-	v.now = v.now.Add(d)
+	v.setNow(v.now.Add(d))
 	v.mu.Unlock()
 }
 
@@ -312,16 +379,22 @@ func (v *Virtual) NewTimerPri(d time.Duration, pri int) *Timer {
 	}
 	v.mu.Lock()
 	v.assertRunning("NewTimer")
-	vt := &vtimer{
-		deadline: v.now.Add(d),
-		pri:      pri,
-		seq:      v.seq,
-		ch:       make(chan time.Time, 1),
+	var vt *vtimer
+	if n := len(v.free); n > 0 {
+		vt = v.free[n-1]
+		v.free[n-1] = nil
+		v.free = v.free[:n-1]
+	} else {
+		vt = &vtimer{ch: make(chan time.Time, 1)}
+		vt.tim = Timer{C: vt.ch, v: v, vt: vt}
 	}
+	vt.deadline = v.now.Add(d)
+	vt.pri = pri
+	vt.seq = v.seq
 	v.seq++
 	heap.Push(&v.timers, vt)
 	v.mu.Unlock()
-	return &Timer{C: vt.ch, v: v, vt: vt}
+	return &vt.tim
 }
 
 func (v *Virtual) stopTimer(vt *vtimer) bool {
@@ -332,6 +405,29 @@ func (v *Virtual) stopTimer(vt *vtimer) bool {
 	}
 	heap.Remove(&v.timers, vt.index)
 	return true
+}
+
+// releaseTimer parks a dead vtimer in the freelist. A still-pending timer
+// is stopped first; an unconsumed fire is drained (and its in-flight-wake
+// veto lifted) so the recycled channel starts empty.
+func (v *Virtual) releaseTimer(vt *vtimer) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if vt.index == freeIndex {
+		return
+	}
+	if vt.index >= 0 {
+		heap.Remove(&v.timers, vt.index)
+	}
+	select {
+	case <-vt.ch:
+		if v.fire > 0 {
+			v.fire--
+		}
+	default:
+	}
+	vt.index = freeIndex
+	v.free = append(v.free, vt)
 }
 
 func (v *Virtual) AllocRole() int {
@@ -348,11 +444,14 @@ func (v *Virtual) AllocRole() int {
 func (v *Virtual) Register() {
 	v.mu.Lock()
 	v.participants++
-	if !v.running && v.fire == 0 && len(v.runq) == 0 {
+	if !v.running && v.fire == 0 && v.qlen() == 0 {
 		v.running = true
 	}
 	v.mu.Unlock()
 }
+
+// qlen is the number of unclaimed grants. Caller holds mu.
+func (v *Virtual) qlen() int { return len(v.runq) - v.qhead }
 
 // Unregister removes a participant on its teardown path, relinquishing the
 // run token. The remaining blocked participants may now satisfy the advance
@@ -371,7 +470,7 @@ func (v *Virtual) Block() {
 	v.assertRunning("Block")
 	v.blocked++
 	v.running = false
-	if len(v.runq) > 0 {
+	if v.qlen() > 0 {
 		// The head grant's wakee can run now; tell any waiter to re-check.
 		v.turn.Broadcast()
 	} else {
@@ -393,7 +492,7 @@ func (v *Virtual) Unblock() {
 func (v *Virtual) UnblockKeep() {
 	v.mu.Lock()
 	v.blocked--
-	if !v.running && v.fire == 0 && len(v.runq) == 0 {
+	if !v.running && v.fire == 0 && v.qlen() == 0 {
 		v.running = true
 	} else {
 		v.maybeAdvance()
@@ -410,13 +509,14 @@ func (v *Virtual) Wake(role int) {
 
 func (v *Virtual) Unwake(role int) {
 	v.mu.Lock()
-	for i := len(v.runq) - 1; i >= 0; i-- {
+	for i := len(v.runq) - 1; i >= v.qhead; i-- {
 		if v.runq[i] == role {
-			v.runq = append(v.runq[:i], v.runq[i+1:]...)
+			copy(v.runq[i:], v.runq[i+1:])
+			v.runq = v.runq[:len(v.runq)-1]
 			break
 		}
 	}
-	if len(v.runq) > 0 {
+	if v.qlen() > 0 {
 		v.turn.Broadcast() // the head may have changed
 	} else {
 		v.maybeAdvance()
@@ -440,10 +540,16 @@ func (v *Virtual) AwaitTurn(role int) {
 // claimTurn waits until the head grant is for role and the token is free,
 // then consumes both. Caller holds mu.
 func (v *Virtual) claimTurn(role int) {
-	for !(len(v.runq) > 0 && v.runq[0] == role && !v.running && v.fire == 0) {
+	for !(v.qlen() > 0 && v.runq[v.qhead] == role && !v.running && v.fire == 0) {
 		v.turn.Wait()
 	}
-	v.runq = v.runq[1:]
+	v.qhead++
+	if v.qhead == len(v.runq) {
+		// Queue drained: rewind to the front of the backing array so Wake
+		// keeps reusing it instead of appending ever further right.
+		v.runq = v.runq[:0]
+		v.qhead = 0
+	}
 	v.running = true
 }
 
@@ -478,7 +584,7 @@ func LockBlocking(clk Clock, l sync.Locker) {
 // timers fire serially in a fixed order. Caller holds mu.
 func (v *Virtual) maybeAdvance() {
 	if v.participants <= 0 || v.blocked < v.participants ||
-		v.running || v.fire > 0 || len(v.runq) > 0 {
+		v.running || v.fire > 0 || v.qlen() > 0 {
 		return
 	}
 	if len(v.timers) == 0 {
@@ -486,7 +592,7 @@ func (v *Virtual) maybeAdvance() {
 	}
 	vt := heap.Pop(&v.timers).(*vtimer)
 	if vt.deadline.After(v.now) {
-		v.now = vt.deadline
+		v.setNow(vt.deadline)
 	}
 	v.fire++
 	vt.ch <- v.now // cap 1, never filled twice: fires at most once
