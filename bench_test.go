@@ -29,6 +29,7 @@ import (
 	"nodefz/internal/oracle"
 	"nodefz/internal/sched"
 	"nodefz/internal/simnet"
+	"nodefz/internal/vclock"
 )
 
 // --- Tables 1-3 -----------------------------------------------------------
@@ -434,6 +435,26 @@ func BenchmarkTrialReset(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run(int64(i + 2))
+	}
+}
+
+// BenchmarkClusterTrial measures one full cluster trial: three repkv
+// replicas (each its own loop and pool) plus the control loop on one
+// virtual clock and one simnet, the partition/heal fault script, open-loop
+// background reads, and end-to-end detection. The world is built fresh per
+// op — a multi-loop trial cannot be arena-reset in place (DESIGN.md §16),
+// so the fresh build IS the campaign's steady state for cluster variants,
+// and this ns/op bounds cluster campaign throughput.
+func BenchmarkClusterTrial(b *testing.B) {
+	app := bugs.ByAbbr("REP-elect")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		app.Run(bugs.RunConfig{
+			Seed:      seed,
+			Scheduler: harness.SchedulerFor(harness.ModeFZ, seed),
+			Clock:     vclock.NewVirtual(),
+		})
 	}
 }
 

@@ -64,6 +64,14 @@ type Arena struct {
 	netUsed   bool
 	noiseUsed bool
 
+	// multiLoop is set (sticky) the first time a trial builds a cluster
+	// node loop (RunConfig.NewNodeLoop): a multi-node trial runs several
+	// loops on one clock and may abandon some mid-trial (node kill), so the
+	// world cannot be reset in place. Every later Begin discards and
+	// rebuilds instead — correctness first, arena speed only where it is
+	// sound.
+	multiLoop bool
+
 	// FS-noise cache: AddFSNoise's private filesystem and its jittered
 	// async binding, reset and reseeded per trial (a fresh Bind allocates a
 	// multi-KB rand state).
@@ -94,6 +102,9 @@ func (a *Arena) Registry() *metrics.Registry { return a.reg }
 // for the new trial; Begin resets everything the arena owns. The previous
 // trial must be fully over — its App.Run returned.
 func (a *Arena) Begin(cfg RunConfig) RunConfig {
+	if a.multiLoop {
+		a.Discard()
+	}
 	if a.loop != nil &&
 		(cfg.Scheduler != a.sched || cfg.Recorder != a.rec || cfg.Oracle != a.probe) {
 		a.Discard()
@@ -136,6 +147,9 @@ func (a *Arena) Discard() {
 		a.reg = metrics.NewRegistry()
 	}
 }
+
+// noteMultiLoop marks the arena's current trial multi-loop; see the field.
+func (a *Arena) noteMultiLoop() { a.multiLoop = true }
 
 // acquireLoop hands the trial the arena's resident loop, building it on
 // first use; nil when this trial already claimed it (the caller then builds

@@ -118,6 +118,30 @@ func (cfg RunConfig) NewLoop() *eventloop.Loop {
 	return l
 }
 
+// NewNodeLoop builds one cluster node's event loop: same clock, scheduler,
+// recorder, and oracle as the trial's control loop, but never the arena's
+// resident loop (a cluster trial needs several live loops at once, and a
+// killed node's loop is abandoned mid-trial — both incompatible with
+// reset-in-place reuse) and never metrics-instrumented (node loops share a
+// trial; per-loop end-of-run gauges would clobber each other). Calling it
+// marks the trial's arena multi-loop, so every later Begin rebuilds the
+// world from scratch instead of resetting it.
+func (cfg RunConfig) NewNodeLoop() *eventloop.Loop {
+	if cfg.Arena != nil {
+		cfg.Arena.noteMultiLoop()
+	}
+	cfg.Arena = nil
+	cfg.Metrics = nil
+	cfg.LagProbeEvery = 0
+	return cfg.NewLoop()
+}
+
+// deliveryPerturber matches core.Scheduler's cluster decision point without
+// importing core (the corpus is scheduler-agnostic).
+type deliveryPerturber interface {
+	PerturbDelivery(name string) time.Duration
+}
+
 // NewNet builds the trial's network with the trial seed.
 //
 // The latency scale (milliseconds, not microseconds) is deliberate: the
@@ -131,6 +155,9 @@ func (cfg RunConfig) NewNet() *simnet.Network {
 		MaxLatency: 2500 * time.Microsecond,
 		Clock:      cfg.Clock,
 		Probe:      cfg.Oracle,
+	}
+	if p, ok := cfg.Scheduler.(deliveryPerturber); ok {
+		conf.Perturb = p.PerturbDelivery
 	}
 	if cfg.Arena != nil {
 		if n := cfg.Arena.acquireNet(conf); n != nil {

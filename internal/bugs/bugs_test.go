@@ -12,8 +12,8 @@ import (
 
 func TestRegistryIntegrity(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("corpus has %d entries, want 18 (12 studied + 3 novel + KUE-2014 + 2 promise ports)", len(all))
+	if len(all) != 20 {
+		t.Fatalf("corpus has %d entries, want 20 (12 studied + 3 novel + KUE-2014 + 2 promise ports + 2 cluster)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -51,7 +51,7 @@ func TestRegistryIntegrity(t *testing.T) {
 func TestTable2Order(t *testing.T) {
 	want := []string{"EPL", "GHO", "FPS", "CLF", "NES", "AKA", "WPT", "SIO",
 		"MKD", "KUE", "RST", "MGS", "SIO-novel", "KUE-novel", "FPS-novel", "KUE-2014",
-		"RST-prom", "AKA-prom"}
+		"RST-prom", "AKA-prom", "REP-elect", "REP-replay"}
 	all := All()
 	for i, a := range all {
 		if a.Abbr != want[i] {

@@ -2,7 +2,9 @@ package bugs
 
 // init populates the corpus in Table 2 order: the twelve studied bugs,
 // then the novel bugs (§5.2), then the §5.2.3 race against time, then the
-// promise-combinator ports (the §3.4.2 fix surface exercised as workload).
+// promise-combinator ports (the §3.4.2 fix surface exercised as workload),
+// then the cluster-tier replicated-store bugs (the §6 "distributed
+// deployments" frontier).
 func init() {
 	registry = []*App{
 		eplApp(),
@@ -23,5 +25,7 @@ func init() {
 		kueTimeApp(),
 		rstPromApp(),
 		akaPromApp(),
+		repElectApp(),
+		repReplayApp(),
 	}
 }

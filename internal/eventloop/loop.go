@@ -373,6 +373,32 @@ func (l *Loop) Run() error {
 	return nil
 }
 
+// Go runs the loop on its own goroutine — the spawn path for cluster nodes,
+// where several loops share one virtual clock and none of them may run on
+// the caller's goroutine. The grant protocol mirrors the worker pool and the
+// network engine: the caller (who, under a virtual clock, must currently
+// hold the run token — e.g. the main goroutine during setup, or a loop
+// callback spawning a node) issues the new loop a run grant *before* the
+// goroutine exists, fixing its place in the virtual run order; the goroutine
+// claims it with Start and releases the loop's clock registration (taken in
+// New) when Run returns. done (may be nil) runs on the loop's goroutine
+// after Run returns and the registration is released.
+//
+// All setup that must precede the first iteration — listeners, timers,
+// handlers — must happen before Go is called: under wall time the loop may
+// begin iterating immediately.
+func (l *Loop) Go(done func(error)) {
+	l.clk.Wake(l.role)
+	go func() {
+		l.clk.Start(l.role)
+		err := l.Run()
+		l.clk.Unregister()
+		if done != nil {
+			done(err)
+		}
+	}()
+}
+
 // Reset re-arms a drained loop for another trial on the same clock,
 // scheduler, recorder, probe, and metrics registry — the trial-arena path.
 // All queues, timers, handles, locals, and counters rewind to the

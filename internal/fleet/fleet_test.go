@@ -7,7 +7,7 @@ import (
 	"nodefz/internal/bugs"
 )
 
-// specsAll builds one Spec per registered bug app — the 18-campaign fleet.
+// specsAll builds one Spec per registered bug app — the 20-campaign fleet.
 func specsAll() []Spec {
 	var specs []Spec
 	for _, a := range bugs.All() {
@@ -163,7 +163,7 @@ func TestFleetExhaustedTargetReleasesWorkers(t *testing.T) {
 	}
 }
 
-// manifestedVariants runs an 18-app fleet under the given policy and
+// manifestedVariants runs a 20-app fleet under the given policy and
 // returns how many distinct bug variants manifested at least once.
 func manifestedVariants(t *testing.T, policy Policy, seed int64, budget, slice int) int {
 	t.Helper()
@@ -183,7 +183,7 @@ func manifestedVariants(t *testing.T, policy Policy, seed int64, budget, slice i
 	return res.Manifested()
 }
 
-// TestFleetGreedyBeatsRoundRobin is the acceptance gate: an 18-app fleet
+// TestFleetGreedyBeatsRoundRobin is the acceptance gate: a 20-app fleet
 // with a fixed global budget must find first-manifestation on at least as
 // many bug variants under the marginal-yield allocator as under uniform
 // round-robin with the same budget — median over 5 fleet seeds. Everything
@@ -191,10 +191,10 @@ func manifestedVariants(t *testing.T, policy Policy, seed int64, budget, slice i
 // regression gate, not a statistical test.
 func TestFleetGreedyBeatsRoundRobin(t *testing.T) {
 	if testing.Short() {
-		t.Skip("18-app fleet x 5 seeds x 2 policies is not a -short test")
+		t.Skip("20-app fleet x 5 seeds x 2 policies is not a -short test")
 	}
 	const (
-		budget = 270 // 18 apps x 15 trials if spread uniformly
+		budget = 300 // 20 apps x 15 trials if spread uniformly
 		slice  = 5
 	)
 	seeds := []int64{1, 2, 3, 4, 5}

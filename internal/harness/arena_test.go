@@ -168,6 +168,9 @@ func TestArenaResetEquivalence(t *testing.T) {
 // world must stay an order of magnitude below that — the regression pin
 // that keeps the reset path from quietly re-growing per-trial construction.
 func TestArenaTrialAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector shadow state allocates on the measured path")
+	}
 	app := bugs.ByAbbr("SIO")
 	w := newArenaWorld(ModeFZ, 1)
 	// The trial alone — reseed, reset, run — without the fingerprint

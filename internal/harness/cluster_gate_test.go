@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"nodefz/internal/bugs"
+)
+
+// repApps returns the cluster-tier corpus entries (the REP variants).
+func repApps(t *testing.T) []*bugs.App {
+	t.Helper()
+	var apps []*bugs.App
+	for _, abbr := range []string{"REP-elect", "REP-replay"} {
+		app := bugs.ByAbbr(abbr)
+		if app == nil {
+			t.Fatalf("%s missing from registry", abbr)
+		}
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// TestClusterOracleGate is the oracle acceptance gate for the cluster tier:
+// on every manifesting buggy trial — across all three Figure 6 modes and a
+// spread of seeds — the tracker must report a violation, with no hand-written
+// detector needed. It is the multi-node mirror of
+// TestOracleAgreesWithDetectors, demanding agreement on *every* manifesting
+// trial in the budget rather than the first: cross-node happens-before
+// edges (send→deliver between loops) flow through the same hooks as
+// single-node ones, so a silent manifestation means an HB edge is being
+// invented somewhere across the cluster. The patched-variant half of the
+// gate — REP silent across the same spread — runs in
+// TestOracleFixedVariantsSilent, which covers the REP entries via
+// bugs.All().
+func TestClusterOracleGate(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for _, app := range repApps(t) {
+		app := app
+		t.Run(app.Abbr, func(t *testing.T) {
+			manifested := 0
+			for _, mode := range Fig6Modes() {
+				for s := 0; s < seeds; s++ {
+					seed := int64(s + 1)
+					tr, out := oracleTrial(app.Run, mode, seed)
+					if !out.Manifested {
+						continue
+					}
+					manifested++
+					if len(tr.Reports()) == 0 {
+						t.Fatalf("%s buggy manifested under %s seed %d (%s) but the oracle is silent",
+							app.Abbr, mode, seed, out.Note)
+					}
+				}
+			}
+			// The fault scripts are tuned so the fuzzing mode manifests on a
+			// known fraction of these seeds; zero across the whole sweep
+			// means the script regressed and the gate above checked nothing.
+			if manifested == 0 {
+				t.Fatalf("%s: no manifesting trial in %d seeds x 3 modes — gate is vacuous",
+					app.Abbr, seeds)
+			}
+		})
+	}
+}
+
+// TestArenaClusterEquivalence is the gate for the arena's multi-loop
+// fallback: a cluster trial runs several loops on one clock and abandons
+// some mid-trial (node kill), so its world cannot be reset in place — the
+// arena must detect that (RunConfig.NewNodeLoop marks it) and rebuild from
+// scratch on every later Begin. Correctness bar, same as
+// TestArenaResetEquivalence: an arena-run cluster trial is bit-identical to
+// the same trial in a freshly built world, and a single-loop trial run
+// through the same (now sticky multi-loop) arena afterwards still is too.
+func TestArenaClusterEquivalence(t *testing.T) {
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	single := bugs.ByAbbr("SIO")
+	if single == nil {
+		t.Fatal("SIO missing from registry")
+	}
+	for _, app := range repApps(t) {
+		app := app
+		for _, mode := range []Mode{ModeNFZ, ModeFZ} {
+			mode := mode
+			t.Run(app.Abbr+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				w := newArenaWorld(mode, 1)
+				compare := func(a *bugs.App, seed int64) {
+					t.Helper()
+					fresh := runFreshOracleTrial(a, mode, seed)
+					if len(fresh.types) == 0 {
+						t.Fatal("trial recorded no callbacks — test is vacuous")
+					}
+					reused := w.run(a, mode, seed)
+					if !reflect.DeepEqual(fresh.trace, reused.trace) {
+						t.Fatalf("%s seed %d: decision trace diverged between fresh and arena worlds",
+							a.Abbr, seed)
+					}
+					if !reflect.DeepEqual(fresh.types, reused.types) {
+						t.Fatalf("%s seed %d: type schedule diverged:\nfresh: %v\narena: %v",
+							a.Abbr, seed, fresh.types, reused.types)
+					}
+					if !reflect.DeepEqual(fresh.stamps, reused.stamps) {
+						t.Fatalf("%s seed %d: virtual timestamps diverged", a.Abbr, seed)
+					}
+					if !reflect.DeepEqual(fresh.violations, reused.violations) {
+						t.Fatalf("%s seed %d: oracle reports diverged:\nfresh: %+v\narena: %+v",
+							a.Abbr, seed, fresh.violations, reused.violations)
+					}
+					if !reflect.DeepEqual(fresh.coverage, reused.coverage) {
+						t.Fatalf("%s seed %d: coverage digest diverged:\nfresh: %+v\narena: %+v",
+							a.Abbr, seed, fresh.coverage, reused.coverage)
+					}
+				}
+				for s := 0; s < seeds; s++ {
+					compare(app, int64(s+1))
+				}
+				// A single-loop trial after cluster trials exercises the
+				// rebuild path one more way: the arena is sticky multi-loop
+				// now, so this trial must get a fresh world, not a resident
+				// loop a dead node once shared a clock with.
+				compare(single, 7)
+			})
+		}
+	}
+}

@@ -20,7 +20,11 @@ func TestCoverageDigestDeterministic(t *testing.T) {
 	if testing.Short() {
 		seeds = 2
 	}
-	for _, abbr := range []string{"SIO", "MGS", "KUE"} {
+	// REP-elect and REP-replay put the whole cluster tier under the gate:
+	// several loops and the delivery engine feeding one digest, including a
+	// kill→restart trial (REP-replay), must still be a pure function of the
+	// seed.
+	for _, abbr := range []string{"SIO", "MGS", "KUE", "REP-elect", "REP-replay"} {
 		app := bugs.ByAbbr(abbr)
 		if app == nil {
 			t.Fatalf("%s missing from registry", abbr)

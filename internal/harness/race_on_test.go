@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this binary was built with -race. Alloc-budget
+// tests skip under the race detector: its instrumentation allocates shadow
+// state on the measured path, so AllocsPerRun counts do not reflect the
+// production binary.
+const raceEnabled = true

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"nodefz/internal/eventloop"
+	"nodefz/internal/vclock"
+)
+
+// collectArrivals drives the process on a virtual-clock loop and returns
+// the virtual offset of every fire.
+func collectArrivals(t *testing.T, a Arrival, until time.Duration) []time.Duration {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	l := eventloop.New(eventloop.Options{Clock: clk})
+	start := clk.Now()
+	var offs []time.Duration
+	a.Drive(l, until, func(i int) {
+		if i != len(offs) {
+			t.Errorf("fire index %d out of order (have %d arrivals)", i, len(offs))
+		}
+		offs = append(offs, clk.Now().Sub(start))
+	})
+	if err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return offs
+}
+
+// TestArrivalDeterministic: the whole arrival schedule is a pure function
+// of the seed — same seed, same instants to the nanosecond; a different
+// seed diverges. This is what lets a cluster trial that includes open-loop
+// background traffic stay replayable.
+func TestArrivalDeterministic(t *testing.T) {
+	for _, curve := range []Curve{Steady, Diurnal, Burst} {
+		a := Arrival{Seed: 42, Rate: 500, Curve: curve}
+		one := collectArrivals(t, a, 100*time.Millisecond)
+		two := collectArrivals(t, a, 100*time.Millisecond)
+		if len(one) == 0 {
+			t.Fatalf("curve %d: no arrivals", curve)
+		}
+		if len(one) != len(two) {
+			t.Fatalf("curve %d: %d vs %d arrivals on replay", curve, len(one), len(two))
+		}
+		for i := range one {
+			if one[i] != two[i] {
+				t.Fatalf("curve %d: arrival %d at %v vs %v on replay", curve, i, one[i], two[i])
+			}
+		}
+		other := collectArrivals(t, Arrival{Seed: 43, Rate: 500, Curve: curve}, 100*time.Millisecond)
+		same := len(other) == len(one)
+		if same {
+			for i := range one {
+				if one[i] != other[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("curve %d: seeds 42 and 43 produced identical schedules", curve)
+		}
+	}
+}
+
+// TestDiurnalRateShape: the sinusoid peaks a quarter-period in at
+// Rate*(1+Amplitude), bottoms out three quarters in at Rate*(1-Amplitude),
+// and crosses the baseline at the period boundaries.
+func TestDiurnalRateShape(t *testing.T) {
+	a := Arrival{Rate: 1000, Curve: Diurnal, Period: 40 * time.Millisecond, Amplitude: 0.8}
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-6 && d > -1e-6
+	}
+	if r := a.RateAt(0); !approx(r, 1000) {
+		t.Fatalf("rate at phase 0 = %v, want baseline 1000", r)
+	}
+	if r := a.RateAt(10 * time.Millisecond); !approx(r, 1800) {
+		t.Fatalf("rate at peak = %v, want 1800", r)
+	}
+	if r := a.RateAt(30 * time.Millisecond); !approx(r, 200) {
+		t.Fatalf("rate at trough = %v, want 200", r)
+	}
+	// The cycle repeats: one full period later the peak reads the same.
+	if r := a.RateAt(50 * time.Millisecond); !approx(r, 1800) {
+		t.Fatalf("rate one period past the peak = %v, want 1800", r)
+	}
+	// The 5% floor keeps a deep trough from starving the process entirely.
+	deep := Arrival{Rate: 1000, Curve: Diurnal, Amplitude: 1.0}
+	if r := deep.RateAt(37500 * time.Microsecond); !approx(r, 50) {
+		t.Fatalf("floored trough = %v, want 50", r)
+	}
+}
+
+// TestBurstDensity: arrivals inside the burst windows are several times
+// denser than the baseline between them. Rates stay under the 100µs
+// inter-arrival floor (10k/s) so the floor does not flatten the burst.
+func TestBurstDensity(t *testing.T) {
+	a := Arrival{Seed: 7, Rate: 500, Curve: Burst,
+		BurstEvery: 25 * time.Millisecond, BurstLen: 5 * time.Millisecond, BurstFactor: 8}
+	const until = 200 * time.Millisecond
+	offs := collectArrivals(t, a, until)
+	if len(offs) < 50 {
+		t.Fatalf("only %d arrivals in %v", len(offs), until)
+	}
+	var in, out int
+	for _, off := range offs {
+		if off%a.BurstEvery < a.BurstLen {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Burst windows are 1/5 of the timeline, so equal densities would put
+	// ~20% of arrivals inside. An 8x burst predicts 8/(8+4) = 2/3 inside;
+	// demand at least half, which no seed should miss by chance.
+	if in < (in+out)/2 {
+		t.Fatalf("burst windows hold %d of %d arrivals — no densification", in, in+out)
+	}
+	inRate := float64(in) / (float64(until/a.BurstEvery) * a.BurstLen.Seconds())
+	outRate := float64(out) / (float64(until/a.BurstEvery) * (a.BurstEvery - a.BurstLen).Seconds())
+	if inRate < 4*outRate {
+		t.Fatalf("in-window rate %.0f/s vs baseline %.0f/s — want >=4x densification", inRate, outRate)
+	}
+}

@@ -57,6 +57,14 @@ type Config struct {
 	// the calling unit so each delivery happens-after its sender. Nil when
 	// the oracle is off.
 	Probe *oracle.Tracker
+	// Perturb, when non-nil, is the fuzzer's cross-node delivery decision
+	// point: called once per scheduled transmission (on the sender's
+	// goroutine, so the decision order is deterministic under a virtual
+	// clock) with the sending endpoint's name, it returns an extra delay
+	// added to the sampled latency. Per-direction FIFO still holds — a
+	// perturbed message delays everything behind it on the same direction,
+	// it never reorders within a connection (§4.2.1).
+	Perturb func(name string) time.Duration
 }
 
 // Network is a simulated network segment. All loops sharing the Network can
@@ -69,6 +77,10 @@ type Network struct {
 	rng       *rand.Rand
 	listeners map[string]*Listener
 	connSeq   uint64
+	// parts maps a loop to its partition group. Loops in different groups
+	// cannot exchange traffic; an unmapped loop (a client, a control loop)
+	// reaches everyone. Nil when the network is healed.
+	parts map[*eventloop.Loop]int
 }
 
 // New creates a network.
@@ -109,11 +121,60 @@ func (n *Network) Reset(cfg Config) {
 	n.cfg.MinLatency = cfg.MinLatency
 	n.cfg.MaxLatency = cfg.MaxLatency
 	n.cfg.Probe = cfg.Probe
+	n.cfg.Perturb = cfg.Perturb
 	n.rng.Seed(cfg.Seed)
 	clear(n.listeners)
 	n.connSeq = 0
+	n.parts = nil
 	n.mu.Unlock()
 	n.engine.restart()
+}
+
+// Partition splits the network: loops in different groups cannot exchange
+// traffic until Heal. Messages already in flight across a cut are dropped at
+// delivery time (the wire went dead under them), dials across a cut are
+// refused, and traffic within a group — or to/from a loop in no group —
+// flows normally. Calling Partition again replaces the previous layout.
+func (n *Network) Partition(groups ...[]*eventloop.Loop) {
+	n.mu.Lock()
+	n.parts = make(map[*eventloop.Loop]int)
+	for g, loops := range groups {
+		for _, l := range loops {
+			n.parts[l] = g
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Heal removes the partition: every link is restored. Messages dropped while
+// the partition stood stay dropped — as on a real network, the transport
+// does not retransmit across a heal; protocols must.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.parts = nil
+	n.mu.Unlock()
+}
+
+// linkUp reports whether a and b can currently exchange traffic. Caller must
+// NOT hold n.mu.
+func (n *Network) linkUp(a, b *eventloop.Loop) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.parts == nil {
+		return true
+	}
+	ga, oka := n.parts[a]
+	gb, okb := n.parts[b]
+	return !oka || !okb || ga == gb
+}
+
+// perturbDelay asks the fuzzer's delivery decision point (if wired) for an
+// extra delay on a transmission from the named endpoint.
+func (n *Network) perturbDelay(name string) time.Duration {
+	if n.cfg.Perturb == nil {
+		return 0
+	}
+	return n.cfg.Perturb(name)
 }
 
 // probeRef captures the unit currently executing on the calling loop, for
@@ -236,11 +297,16 @@ func (n *Network) Dial(loop *eventloop.Loop, addr string, onConnect func(*Conn, 
 		name: fmt.Sprintf("conn%d:client", seq),
 	}
 
-	n.engine.schedule(n.latency(), time.Time{}, func() {
+	n.engine.schedule(n.latency()+n.perturbDelay(client.name), time.Time{}, func() {
 		n.mu.Lock()
 		ln := n.listeners[addr]
 		refused := ln == nil || ln.closed
 		n.mu.Unlock()
+		// A dial across a partition cut is refused: the SYN cannot reach the
+		// listener's side of the network.
+		if !refused && !n.linkUp(loop, ln.loop) {
+			refused = true
+		}
 		if refused {
 			client.src.PostRef(KindConnect, client.name, dialRef, func() {
 				onConnect(nil, ErrConnectionRefused)
@@ -296,7 +362,18 @@ func (c *Conn) Send(data []byte) error {
 	}
 	msg := make([]byte, len(data))
 	copy(msg, data)
-	c.scheduleOut(func(ref oracle.Ref) { peer.deliver(msg, ref) })
+	c.scheduleOut(func(ref oracle.Ref) {
+		if peer.Closed() {
+			// RST: the remote endpoint is gone and its FIN never reached us —
+			// it crashed inside a partition, say. As with TCP, the next
+			// segment to arrive at a dead endpoint resets the sender's side
+			// of the connection, which is how a protocol's keepalive traffic
+			// discovers a half-open connection and redials.
+			c.peerClosed(ref)
+			return
+		}
+		peer.deliver(msg, ref)
+	})
 	return nil
 }
 
@@ -309,8 +386,23 @@ func (c *Conn) scheduleOut(fn func(ref oracle.Ref)) {
 	ref := c.net.probeRef()
 	c.mu.Lock()
 	notBefore := c.sendNotBefore
+	peer := c.peer
 	c.mu.Unlock()
-	due := c.net.engine.schedule(c.net.latency(), notBefore, func() { fn(ref) })
+	// Partition checks at both ends of the flight: a message sent into a
+	// dead link is dropped at the first hop (but still consumes a latency
+	// sample, keeping the decision stream aligned with the healed schedule),
+	// and a message in flight when the cut lands is lost on the dead wire.
+	// The transport never retransmits across a heal; protocols must.
+	delay := c.net.latency() + c.net.perturbDelay(c.name)
+	if peer != nil && !c.net.linkUp(c.loop, peer.loop) {
+		return
+	}
+	due := c.net.engine.schedule(delay, notBefore, func() {
+		if peer != nil && !c.net.linkUp(c.loop, peer.loop) {
+			return
+		}
+		fn(ref)
+	})
 	c.mu.Lock()
 	if due.After(c.sendNotBefore) {
 		c.sendNotBefore = due

@@ -256,6 +256,25 @@ func NewVirtual() *Virtual {
 	return v
 }
 
+// DebugState renders the participant accounting for wedge diagnosis: when a
+// multi-loop trial hangs, the one advance precondition that fails here names
+// the protocol bug. Deliberately cheap and allocation-tolerant — it is only
+// called from watchdogs and debug dumps, never on a hot path.
+func (v *Virtual) DebugState() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := fmt.Sprintf("vclock{participants=%d blocked=%d running=%v fire=%d grants=%v timers=%d",
+		v.participants, v.blocked, v.running, v.fire, v.runq[v.qhead:], len(v.timers))
+	for i, t := range v.timers {
+		if i == 3 {
+			s += " …"
+			break
+		}
+		s += fmt.Sprintf(" t%d@%s/pri%d", t.seq, t.deadline.Sub(v.now), t.pri)
+	}
+	return s + "}"
+}
+
 // Reset rewinds the clock to the epoch for the next trial of an arena: time,
 // timer sequence numbers, grants, fires, and the pending-timer heap all
 // return to their just-constructed values, with the calling goroutine as the
